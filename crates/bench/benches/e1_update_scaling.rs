@@ -1,0 +1,62 @@
+//! E1 — update-only scaling (paper evaluation protocol: 50% insert /
+//! 50% delete, prefilled to half density, throughput vs thread count).
+//!
+//! Criterion lens: time to complete a fixed batch of operations split
+//! across T threads — lower is better, and the T-thread/1-thread ratio
+//! is the scaling curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Mx, Nb, Pnb, Rw};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+const OPS_PER_THREAD: u64 = 10_000;
+
+fn bench_structure(c: &mut Criterion, map: &dyn ConcurrentMap, key_range: u64) {
+    let mut group = c.benchmark_group(format!("e1_update_only/range_{key_range}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dist = KeyDist::uniform(key_range);
+    prefill(map, key_range, 0.5, 42);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(
+                            map,
+                            threads,
+                            OPS_PER_THREAD,
+                            Mix::update_only(),
+                            &dist,
+                            42 + i,
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e1(c: &mut Criterion) {
+    for key_range in [1_000u64, 100_000] {
+        let pnb = Pnb::new();
+        bench_structure(c, &pnb, key_range);
+        let nb = Nb::new();
+        bench_structure(c, &nb, key_range);
+        let rw = Rw::new();
+        bench_structure(c, &rw, key_range);
+        let mx = Mx::new();
+        bench_structure(c, &mx, key_range);
+    }
+}
+
+criterion_group!(benches, e1);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2 — search-dominated scaling (10% insert / 10% delete / 80% find).
+//!
+//! The paper's claim under this mix: finds never interfere with one
+//! another and help only updates at the leaf's neighbourhood, so the
+//! lock-free trees scale with readers while the mutex serializes and the
+//! RwLock pays writer exclusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Mx, Nb, Pnb, Rw};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+const OPS_PER_THREAD: u64 = 10_000;
+
+fn bench_structure(c: &mut Criterion, map: &dyn ConcurrentMap, key_range: u64) {
+    let mut group = c.benchmark_group(format!("e2_read_mostly/range_{key_range}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dist = KeyDist::uniform(key_range);
+    prefill(map, key_range, 0.5, 42);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(
+                            map,
+                            threads,
+                            OPS_PER_THREAD,
+                            Mix::read_mostly(),
+                            &dist,
+                            1042 + i,
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e2(c: &mut Criterion) {
+    for key_range in [1_000u64, 100_000] {
+        let pnb = Pnb::new();
+        bench_structure(c, &pnb, key_range);
+        let nb = Nb::new();
+        bench_structure(c, &nb, key_range);
+        let rw = Rw::new();
+        bench_structure(c, &rw, key_range);
+        let mx = Mx::new();
+        bench_structure(c, &mx, key_range);
+    }
+}
+
+criterion_group!(benches, e2);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E3 — mixed workload including wait-free range queries
+//! (25% insert / 25% delete / 40% find / 10% range query of width 100).
+//!
+//! NB-BST is excluded: it has no linearizable range query — that is the
+//! capability gap PNB-BST closes. The lock-based maps serialize scans
+//! against updates; PNB-BST's scans are wait-free and do not block
+//! updates outside their path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Mx, Pnb, Rw};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+const OPS_PER_THREAD: u64 = 5_000;
+
+fn bench_structure(c: &mut Criterion, map: &dyn ConcurrentMap, key_range: u64) {
+    let mut group = c.benchmark_group(format!("e3_rq_mix/range_{key_range}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dist = KeyDist::uniform(key_range);
+    prefill(map, key_range, 0.5, 42);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(
+                            map,
+                            threads,
+                            OPS_PER_THREAD,
+                            Mix::with_ranges(100),
+                            &dist,
+                            2042 + i,
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e3(c: &mut Criterion) {
+    for key_range in [1_000u64, 100_000] {
+        let pnb = Pnb::new();
+        bench_structure(c, &pnb, key_range);
+        let rw = Rw::new();
+        bench_structure(c, &rw, key_range);
+        let mx = Mx::new();
+        bench_structure(c, &mx, key_range);
+    }
+}
+
+criterion_group!(benches, e3);
+criterion_main!(benches);

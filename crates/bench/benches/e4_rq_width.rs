@@ -1,0 +1,70 @@
+//! E4 — range-query width sweep: cost of a single wait-free scan as the
+//! requested range widens (10 → 10 000 keys over a 100k key space, half
+//! full), with one updater thread churning concurrently.
+//!
+//! Expected shape: PNB-BST scan cost grows linearly in the number of
+//! keys returned and is insensitive to the updater; the RwLock scan has
+//! similar traversal cost but serializes with (and stalls) the updater.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pnbbst_bench::adapters::{Pnb, Rw};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use workload::{prefill, ConcurrentMap, KeyDist};
+
+const KEY_RANGE: u64 = 100_000;
+
+fn bench_scans(c: &mut Criterion, map: &dyn ConcurrentMap) {
+    let mut group = c.benchmark_group("e4_rq_width");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    prefill(map, KEY_RANGE, 0.5, 42);
+    let _dist = KeyDist::uniform(KEY_RANGE);
+
+    for width in [10u64, 100, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(width / 2)); // ~half density
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), width),
+            &width,
+            |b, &width| {
+                // One background updater churns for the whole measurement.
+                let stop = AtomicBool::new(false);
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        let mut x = 0x1234_5678u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = x % KEY_RANGE;
+                            if x & 1 == 0 {
+                                map.insert(k, k);
+                            } else {
+                                map.delete(&k);
+                            }
+                        }
+                    });
+                    let mut lo = 0u64;
+                    b.iter(|| {
+                        lo = (lo + 7919) % (KEY_RANGE - width);
+                        std::hint::black_box(map.range_scan(&lo, &(lo + width - 1)))
+                    });
+                    stop.store(true, Ordering::Relaxed);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e4(c: &mut Criterion) {
+    let pnb = Pnb::new();
+    bench_scans(c, &pnb);
+    let rw = Rw::new();
+    bench_scans(c, &rw);
+}
+
+criterion_group!(benches, e4);
+criterion_main!(benches);

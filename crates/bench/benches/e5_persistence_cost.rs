@@ -1,0 +1,101 @@
+//! E5 — the cost of persistence (table): single-threaded per-operation
+//! latency of PNB-BST vs the non-persistent NB-BST it extends, vs the
+//! unsynchronized sequential floor.
+//!
+//! What PNB-BST pays on top of NB-BST: a `prev` pointer and sequence
+//! number per node, the `Counter` read + handshake per attempt, and a
+//! node *copy* on every delete (NB-BST relinks the sibling instead).
+//! The paper's design goal is that this is a modest constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Nb, Pnb};
+use std::time::Duration;
+use workload::ConcurrentMap;
+
+const N: u64 = 10_000;
+
+/// insert+delete round trip at stationary size.
+fn bench_update_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_persistence_cost/insert_delete_pair");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Nb::new())];
+    for map in &structures {
+        for k in 0..N {
+            map.insert(k * 2, k); // even keys resident
+        }
+        let mut k = 1u64;
+        group.bench_function(BenchmarkId::new(map.name(), "odd_key_churn"), |b| {
+            b.iter(|| {
+                k = (k + 2) % (2 * N);
+                let kk = k | 1;
+                std::hint::black_box(map.insert(kk, kk));
+                std::hint::black_box(map.delete(&kk));
+            })
+        });
+    }
+
+    // Sequential floor.
+    let mut seq = lock_bst::seq::SeqBst::<u64, u64>::new();
+    for k in 0..N {
+        seq.insert(k * 2, k);
+    }
+    let mut k = 1u64;
+    group.bench_function(BenchmarkId::new("seq-bst", "odd_key_churn"), |b| {
+        b.iter(|| {
+            k = (k + 2) % (2 * N);
+            let kk = k | 1;
+            std::hint::black_box(seq.insert(kk, kk));
+            std::hint::black_box(seq.delete(&kk));
+        })
+    });
+    group.finish();
+}
+
+fn bench_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_persistence_cost/find");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Nb::new())];
+    for map in &structures {
+        for k in 0..N {
+            map.insert(k, k);
+        }
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new(map.name(), "hit"), |b| {
+            b.iter(|| {
+                k = (k + 7919) % N;
+                std::hint::black_box(map.get(&k))
+            })
+        });
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new(map.name(), "miss"), |b| {
+            b.iter(|| {
+                k = (k + 7919) % N;
+                std::hint::black_box(map.get(&(k + N)))
+            })
+        });
+    }
+
+    let mut seq = lock_bst::seq::SeqBst::<u64, u64>::new();
+    for k in 0..N {
+        seq.insert(k, k);
+    }
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new("seq-bst", "hit"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            std::hint::black_box(seq.get(&k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_pair, bench_find);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E6 — scan/update non-interference (paper §1: "RangeScans operating on
+//! different parts of the tree do not interfere with one another", and
+//! scans only help updates on the nodes they traverse).
+//!
+//! Measures the latency of one scan over (a) a narrow disjoint slice far
+//! from the updaters' working set vs (b) the updaters' hot range vs (c)
+//! the full key space, with updaters running throughout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::Pnb;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use workload::{prefill, ConcurrentMap};
+
+const KEY_RANGE: u64 = 100_000;
+// Updaters churn only in [0, HOT); the cold slice [COLD_LO, COLD_HI] is
+// never updated.
+const HOT: u64 = 10_000;
+const COLD_LO: u64 = 80_000;
+const COLD_HI: u64 = 89_999;
+
+fn e6(c: &mut Criterion) {
+    let map = Pnb::new();
+    prefill(&map, KEY_RANGE, 0.5, 42);
+
+    let mut group = c.benchmark_group("e6_scan_interference");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let cases: [(&str, u64, u64); 3] = [
+        ("cold_disjoint_slice", COLD_LO, COLD_HI),
+        ("hot_contended_slice", 0, HOT - 1),
+        ("full_key_space", 0, KEY_RANGE - 1),
+    ];
+
+    for (label, lo, hi) in cases {
+        group.bench_function(BenchmarkId::new("pnb-bst", label), |b| {
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                // Two updaters hammer the hot range for the whole
+                // measurement.
+                for t in 0..2u64 {
+                    let stop = &stop;
+                    let map = &map;
+                    s.spawn(move || {
+                        let mut x = 0xABCD_EF01u64 ^ t;
+                        while !stop.load(Ordering::Relaxed) {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = x % HOT;
+                            if x & 1 == 0 {
+                                map.insert(k, k);
+                            } else {
+                                map.delete(&k);
+                            }
+                        }
+                    });
+                }
+                b.iter(|| std::hint::black_box(map.range_scan(&lo, &hi)));
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e6);
+criterion_main!(benches);

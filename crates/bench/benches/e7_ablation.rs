@@ -1,0 +1,80 @@
+//! E7 — ablation of the scan/update coordination machinery: how does
+//! update cost change as the scan rate (and therefore phase-counter
+//! churn + handshake aborts + helping) increases?
+//!
+//! Each point measures a fixed batch of updates on 2 threads while a
+//! scanner thread issues range queries at a controlled rate. Rising scan
+//! rates advance the phase counter faster, which forces more handshake
+//! aborts and retried attempts (the `stats` feature on the experiments
+//! binary exposes the raw counters; here the effect shows up as batch
+//! time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::Pnb;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+const KEY_RANGE: u64 = 10_000;
+const OPS_PER_THREAD: u64 = 5_000;
+
+fn e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_handshake_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let dist = KeyDist::uniform(KEY_RANGE);
+
+    // scan_pause_us == None: no scanner at all (baseline).
+    let cases: [(&str, Option<u64>); 4] = [
+        ("no_scans", None),
+        ("scan_every_1ms", Some(1_000)),
+        ("scan_every_100us", Some(100)),
+        ("scan_continuous", Some(0)),
+    ];
+
+    for (label, pause) in cases {
+        let map = Pnb::new();
+        prefill(&map, KEY_RANGE, 0.5, 42);
+        group.bench_function(BenchmarkId::new("updates_2thr", label), |b| {
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                if let Some(pause_us) = pause {
+                    let stop = &stop;
+                    let map = &map;
+                    s.spawn(move || {
+                        let mut lo = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            lo = (lo + 997) % (KEY_RANGE - 128);
+                            std::hint::black_box(map.range_scan(&lo, &(lo + 127)));
+                            if pause_us > 0 {
+                                std::thread::sleep(Duration::from_micros(pause_us));
+                            }
+                        }
+                    });
+                }
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(
+                            &map,
+                            2,
+                            OPS_PER_THREAD,
+                            Mix::update_only(),
+                            &dist,
+                            7042 + i,
+                        );
+                    }
+                    total
+                });
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e7);
+criterion_main!(benches);

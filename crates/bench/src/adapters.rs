@@ -1,0 +1,181 @@
+//! [`ConcurrentMap`] adapters for every structure under test, so the
+//! workload driver and all experiments are structure-agnostic.
+
+use workload::ConcurrentMap;
+
+/// PNB-BST (the paper's structure).
+#[derive(Default)]
+pub struct Pnb(pub pnb_bst::PnbBst<u64, u64>);
+
+impl Pnb {
+    /// Fresh empty tree.
+    pub fn new() -> Self {
+        Pnb(pnb_bst::PnbBst::new())
+    }
+}
+
+impl ConcurrentMap for Pnb {
+    fn insert(&self, k: u64, v: u64) -> bool {
+        self.0.insert(k, v)
+    }
+    fn delete(&self, k: &u64) -> bool {
+        self.0.delete(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+        self.0.scan_count(lo, hi)
+    }
+    fn name(&self) -> &'static str {
+        "pnb-bst"
+    }
+}
+
+/// NB-BST (Ellen et al., the non-persistent substrate — no range scans).
+#[derive(Default)]
+pub struct Nb(pub nb_bst::NbBst<u64, u64>);
+
+impl Nb {
+    /// Fresh empty tree.
+    pub fn new() -> Self {
+        Nb(nb_bst::NbBst::new())
+    }
+}
+
+impl ConcurrentMap for Nb {
+    fn insert(&self, k: u64, v: u64) -> bool {
+        self.0.insert(k, v)
+    }
+    fn delete(&self, k: &u64) -> bool {
+        self.0.delete(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range_scan(&self, _lo: &u64, _hi: &u64) -> usize {
+        unreachable!("NB-BST has no linearizable range scan")
+    }
+    fn supports_range_scan(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "nb-bst"
+    }
+}
+
+/// Coarse reader-writer-locked BTreeMap.
+#[derive(Default)]
+pub struct Rw(pub lock_bst::RwLockTree<u64, u64>);
+
+impl Rw {
+    /// Fresh empty map.
+    pub fn new() -> Self {
+        Rw(lock_bst::RwLockTree::new())
+    }
+}
+
+impl ConcurrentMap for Rw {
+    fn insert(&self, k: u64, v: u64) -> bool {
+        self.0.insert(k, v)
+    }
+    fn delete(&self, k: &u64) -> bool {
+        self.0.delete(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+        self.0.scan_count(lo, hi)
+    }
+    fn name(&self) -> &'static str {
+        "rwlock-btreemap"
+    }
+}
+
+/// Coarse mutex-locked BTreeMap.
+#[derive(Default)]
+pub struct Mx(pub lock_bst::MutexTree<u64, u64>);
+
+impl Mx {
+    /// Fresh empty map.
+    pub fn new() -> Self {
+        Mx(lock_bst::MutexTree::new())
+    }
+}
+
+impl ConcurrentMap for Mx {
+    fn insert(&self, k: u64, v: u64) -> bool {
+        self.0.insert(k, v)
+    }
+    fn delete(&self, k: &u64) -> bool {
+        self.0.delete(k)
+    }
+    fn get(&self, k: &u64) -> Option<u64> {
+        self.0.get(k)
+    }
+    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+        self.0.scan_count(lo, hi)
+    }
+    fn name(&self) -> &'static str {
+        "mutex-btreemap"
+    }
+}
+
+/// Build one instance of every structure that supports the given mix.
+pub fn all_structures(need_ranges: bool) -> Vec<Box<dyn ConcurrentMap>> {
+    let mut v: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new())];
+    if !need_ranges {
+        v.push(Box::new(Nb::new()));
+    }
+    v.push(Box::new(Rw::new()));
+    v.push(Box::new(Mx::new()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapters_agree_on_semantics() {
+        let maps: Vec<Box<dyn ConcurrentMap>> = vec![
+            Box::new(Pnb::new()),
+            Box::new(Nb::new()),
+            Box::new(Rw::new()),
+            Box::new(Mx::new()),
+        ];
+        for m in &maps {
+            assert!(m.insert(5, 50), "{}", m.name());
+            assert!(!m.insert(5, 51), "{}", m.name());
+            assert_eq!(m.get(&5), Some(50), "{}", m.name());
+            assert!(m.delete(&5), "{}", m.name());
+            assert!(!m.delete(&5), "{}", m.name());
+            assert_eq!(m.get(&5), None, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn range_capable_adapters_scan() {
+        let maps: Vec<Box<dyn ConcurrentMap>> = vec![
+            Box::new(Pnb::new()),
+            Box::new(Rw::new()),
+            Box::new(Mx::new()),
+        ];
+        for m in &maps {
+            for k in 0..100 {
+                m.insert(k, k);
+            }
+            assert_eq!(m.range_scan(&10, &19), 10, "{}", m.name());
+            assert!(m.supports_range_scan());
+        }
+    }
+
+    #[test]
+    fn structure_roster_respects_range_support() {
+        assert_eq!(all_structures(false).len(), 4);
+        let with_ranges = all_structures(true);
+        assert_eq!(with_ranges.len(), 3);
+        assert!(with_ranges.iter().all(|m| m.supports_range_scan()));
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerate the paper-protocol experiment tables (E1–E7).
+//!
+//! ```text
+//! cargo run --release -p pnbbst-bench --bin experiments            # full sweep
+//! cargo run --release -p pnbbst-bench --bin experiments -- --quick # CI-sized
+//! cargo run --release -p pnbbst-bench --bin experiments -- e1 e5   # subset
+//! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e7
+//! ```
+//!
+//! Markdown goes to stdout (pipe into EXPERIMENTS.md material); progress
+//! goes to stderr.
+
+use pnbbst_bench::experiments::{self, ExpOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+    let run_list: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        selected
+    };
+
+    let opts = ExpOpts { quick };
+    println!(
+        "## Experiment results ({} mode, {} hardware threads)\n",
+        if quick { "quick" } else { "full" },
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    for exp in run_list {
+        eprintln!("=== running {exp} ===");
+        let section = match exp {
+            "e1" => experiments::e1(&opts),
+            "e2" => experiments::e2(&opts),
+            "e3" => experiments::e3(&opts),
+            "e4" => experiments::e4(&opts),
+            "e5" => experiments::e5(&opts),
+            "e6" => experiments::e6(&opts),
+            "e7" => experiments::e7(&opts),
+            "e8" => experiments::e8(&opts),
+            other => {
+                eprintln!("unknown experiment: {other} (expected e1..e8)");
+                std::process::exit(2);
+            }
+        };
+        println!("{section}");
+    }
+}

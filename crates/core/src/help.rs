@@ -1,0 +1,401 @@
+//! `Execute`, `Help` and `CAS-Child` (paper Figure 4, lines 83–128) plus
+//! the reclamation machinery the paper leaves to a garbage collector.
+//!
+//! An update attempt proceeds as:
+//!
+//! 1. `execute` re-checks that none of the expected old update words is
+//!    frozen (helping any that are), allocates the `Info` object and
+//!    *publishes* it with the first freeze CAS (flagging `nodes[0]`). The
+//!    operation is linearized here if it ultimately commits.
+//! 2. `help` — runnable by *any* thread holding the `Info` — performs the
+//!    handshake (abort if `Counter` moved since the attempt began, §4.1),
+//!    freezes the remaining nodes in order, swings the child pointer, and
+//!    resolves the state to `Commit` or `Abort`.
+//!
+//! # Reclamation protocol (see DESIGN.md §3)
+//!
+//! * Whoever wins the child CAS retires the unlinked nodes (they are
+//!   precisely the permanently-marked ones).
+//! * Info objects are reference-counted by node-update-field references
+//!   plus one creation reference; `dec_ref` retires at zero, idempotently.
+//! * A replacement subtree that never became reachable (attempt failed or
+//!   aborted) is freed by its creator — immediately if the `Info` was
+//!   never published, deferred otherwise.
+
+use crossbeam_epoch::{Guard, Shared};
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::info::{state, FreezeTag, Info, InfoPtr, NodePtr, OpKind, UpdateWord};
+use crate::node::{word_shared, Node};
+use crate::tree::{PnbBst, UpdateOutcome};
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Paper `Execute` (lines 92–106), extended with the testing-only
+    /// `pause` mode: when `pause` is true and the first freeze CAS
+    /// succeeds, the attempt is *suspended* — the published `Info` is
+    /// returned without running `Help`, simulating a crash mid-update.
+    ///
+    /// Takes ownership of `new_child` (for inserts: including its two
+    /// fresh leaves) and frees it on failure.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute(
+        &self,
+        kind: OpKind,
+        nodes: &[NodePtr<K, V>],
+        old_update: &[UpdateWord<K, V>],
+        mark: &[bool],
+        par: NodePtr<K, V>,
+        old_child: NodePtr<K, V>,
+        new_child: NodePtr<K, V>,
+        seq: u64,
+        pause: bool,
+        guard: &Guard,
+    ) -> UpdateOutcome<bool, K, V> {
+        // Lines 96–101: nothing we are about to freeze may currently be
+        // frozen; help in-progress operations before failing.
+        for &u in old_update {
+            if self.frozen(u) {
+                // SAFETY: `u.info` valid under guard (see `frozen`).
+                let st = unsafe { (*u.info).state.load(SeqCst) };
+                if st == state::UNDECIDED || st == state::TRY {
+                    self.stats.helps();
+                    self.help(u.info, guard);
+                }
+                self.free_unpublished_new_child(kind, new_child);
+                return UpdateOutcome::Done(false);
+            }
+        }
+        // Line 102: allocate the Info object (refs = 1: creation ref).
+        let info: InfoPtr<K, V> = Box::into_raw(Box::new(Info::new(
+            kind, nodes, old_update, mark, par, old_child, new_child, seq,
+        )));
+        // Line 103: first freeze CAS — flag nodes[0]. Increment the
+        // prospective field reference *before* the CAS so the count can
+        // never dip below the number of live references.
+        // SAFETY: we own `info` until it is published.
+        unsafe { (*info).refs.fetch_add(1, SeqCst) };
+        // SAFETY: nodes[0] is reachable (returned by search) and pinned.
+        let first = unsafe { &*nodes[0] };
+        let new_word = Shared::from(info).with_tag(FreezeTag::Flag.bit());
+        match first
+            .update
+            .compare_exchange(word_shared(old_update[0]), new_word, SeqCst, SeqCst, guard)
+        {
+            Ok(_) => {
+                // Published. The displaced word loses its field reference.
+                self.dec_ref(old_update[0].info, guard);
+                if pause {
+                    return UpdateOutcome::Paused(info);
+                }
+                UpdateOutcome::Done(self.finish_published(info, guard))
+            }
+            Err(_) => {
+                self.stats.freeze_cas_failures();
+                // Never published: we are the only owner of both the Info
+                // and the replacement subtree.
+                // SAFETY: no other thread has observed `info`.
+                unsafe { drop(Box::from_raw(info as *mut Info<K, V>)) };
+                self.free_unpublished_new_child(kind, new_child);
+                UpdateOutcome::Done(false)
+            }
+        }
+    }
+
+    /// Drive a *published* attempt to completion: run `Help`, clean up the
+    /// replacement subtree if the attempt aborted, and release the
+    /// creation reference. Returns whether the attempt committed.
+    ///
+    /// Also the body of `PausedUpdate::resume` in the testing API.
+    pub(crate) fn finish_published(&self, info: InfoPtr<K, V>, guard: &Guard) -> bool {
+        let committed = self.help(info, guard);
+        if !committed {
+            // The replacement subtree never became reachable (Lemma 10:
+            // aborted attempts perform no child CAS); defer-free it. Only
+            // the creator does this, exactly once.
+            // SAFETY: we hold the creation reference, so `info` is alive.
+            let (kind, new_child) = unsafe { ((*info).kind, (*info).new_child) };
+            self.defer_free_new_child(kind, new_child, guard);
+        }
+        self.dec_ref(info, guard); // release the creation reference
+        committed
+    }
+
+    /// Paper `Help(infp)` (lines 107–128). Returns `true` iff the attempt
+    /// committed. Callable by any thread; precondition: `infp` is
+    /// published and is not the Dummy.
+    pub(crate) fn help(&self, infp: InfoPtr<K, V>, guard: &Guard) -> bool {
+        debug_assert!(!std::ptr::eq(infp, self.dummy), "Help(Dummy) is forbidden");
+        // SAFETY: published Info objects are retired only through the
+        // epoch collector; the caller is pinned.
+        let info = unsafe { &*infp };
+
+        // Lines 111–113: the handshake. If Counter moved past our phase a
+        // range scan may already have traversed (and missed) the part of
+        // the tree we are updating — pro-actively abort.
+        if self.counter.load(SeqCst) != info.seq {
+            if info
+                .state
+                .compare_exchange(state::UNDECIDED, state::ABORT, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.stats.handshake_aborts();
+            }
+        } else {
+            let _ = info
+                .state
+                .compare_exchange(state::UNDECIDED, state::TRY, SeqCst, SeqCst);
+        }
+        // Line 114.
+        let mut cont = info.state.load(SeqCst) == state::TRY;
+
+        // Lines 115–121: freeze the remaining nodes, in order.
+        let mut i = 1;
+        while cont && i < info.len {
+            // SAFETY: nodes in a published Info stay reachable while the
+            // attempt is undecided (they are frozen or about to be), and
+            // we are pinned.
+            let node = unsafe { &*info.nodes[i] };
+            let tag = if info.mark[i] {
+                FreezeTag::Mark
+            } else {
+                FreezeTag::Flag
+            };
+            // Increment-before-CAS (see module docs).
+            info.refs.fetch_add(1, SeqCst);
+            match node.update.compare_exchange(
+                word_shared(info.old_update[i]),
+                Shared::from(infp).with_tag(tag.bit()),
+                SeqCst,
+                SeqCst,
+                guard,
+            ) {
+                Ok(_) => {
+                    // Reference transferred from the displaced word.
+                    self.dec_ref(info.old_update[i].info, guard);
+                }
+                Err(_) => {
+                    self.stats.freeze_cas_failures();
+                    self.dec_ref(infp, guard); // undo the speculative inc
+                }
+            }
+            // Line 119: somebody (us or a fellow helper) must have frozen
+            // this node for `info`, whatever the tag.
+            cont = std::ptr::eq(node.update.load(SeqCst, guard).as_raw(), infp);
+            i += 1;
+        }
+
+        if cont {
+            // Line 123: the child CAS — the update takes effect.
+            let won = self.cas_child(info.par, info.old_child, info.new_child, guard);
+            // Line 124: commit write. A CAS from Try keeps the transition
+            // single-shot; by Lemma 10 no abort can race with it.
+            let _ = info
+                .state
+                .compare_exchange(state::TRY, state::COMMIT, SeqCst, SeqCst);
+            if won {
+                // Unique winner: retire what the CAS unlinked.
+                self.retire_replaced(info, guard);
+            }
+        } else if info.state.load(SeqCst) == state::TRY {
+            // Lines 125–126: abort write (a freeze CAS lost the race).
+            if info
+                .state
+                .compare_exchange(state::TRY, state::ABORT, SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.stats.freeze_aborts();
+            }
+        }
+        info.state.load(SeqCst) == state::COMMIT // line 127
+    }
+
+    /// Paper `CAS-Child` (lines 83–88). Returns whether *our* CAS was the
+    /// one that performed the swing.
+    pub(crate) fn cas_child(
+        &self,
+        par: NodePtr<K, V>,
+        old: NodePtr<K, V>,
+        new: NodePtr<K, V>,
+        guard: &Guard,
+    ) -> bool {
+        // SAFETY: par/new belong to a published Info whose nodes are
+        // frozen; both outlive this call under the guard.
+        let parent = unsafe { &*par };
+        let new_ref = unsafe { &*new };
+        debug_assert!(std::ptr::eq(new_ref.prev, old), "new.prev must equal old");
+        let field = if new_ref.key < parent.key {
+            &parent.left // line 85
+        } else {
+            &parent.right // line 87
+        };
+        field
+            .compare_exchange(Shared::from(old), Shared::from(new), SeqCst, SeqCst, guard)
+            .is_ok()
+    }
+
+    /// Retire the nodes a successful child CAS unlinked from the current
+    /// tree: the old leaf for an insert; the parent and both its children
+    /// for a delete. All of them are permanently marked for `info`.
+    fn retire_replaced(&self, info: &Info<K, V>, guard: &Guard) {
+        match info.kind {
+            OpKind::Insert => {
+                self.retire_node(info.old_child, guard);
+            }
+            OpKind::Delete => {
+                // SAFETY: old_child is frozen for `info`; its children are
+                // immutable since the freeze (Lemma 24) and are exactly
+                // nodes[2] (the deleted leaf) and nodes[3] (the sibling).
+                let p = unsafe { &*info.old_child };
+                let l = p.left.load(SeqCst, guard);
+                let r = p.right.load(SeqCst, guard);
+                self.retire_node(l.as_raw(), guard);
+                self.retire_node(r.as_raw(), guard);
+                self.retire_node(info.old_child, guard);
+            }
+        }
+    }
+
+    /// Retire one unlinked node: release the Info reference its
+    /// (permanently marked, hence immutable — Lemma 23) update field
+    /// holds, then defer destruction.
+    fn retire_node(&self, node: NodePtr<K, V>, guard: &Guard) {
+        // SAFETY: `node` was just unlinked by us; it stays valid under our
+        // guard.
+        let n = unsafe { &*node };
+        let w = n.load_update(guard);
+        debug_assert_eq!(w.tag, FreezeTag::Mark, "unlinked nodes are marked");
+        self.dec_ref(w.info, guard);
+        // SAFETY: `node` is unreachable to operations that pin after this
+        // point (DESIGN.md §3); current pinners are protected by epochs.
+        unsafe { guard.defer_destroy(Shared::from(node)) };
+    }
+
+    /// Release one reference to `info`; the thread that drops the count
+    /// to zero retires it (exactly once — `retired` is a one-shot flag).
+    pub(crate) fn dec_ref(&self, info: InfoPtr<K, V>, guard: &Guard) {
+        if std::ptr::eq(info, self.dummy) {
+            return; // the Dummy is tree-owned and never retired
+        }
+        // SAFETY: caller holds a reference or is pinned from before any
+        // possible retirement.
+        let i = unsafe { &*info };
+        if i.refs.fetch_sub(1, SeqCst) == 1 && !i.retired.swap(true, SeqCst) {
+            // SAFETY: count reached zero: no node update field and no
+            // creation reference remains; stragglers are pinned.
+            unsafe { guard.defer_destroy(Shared::from(info)) };
+        }
+    }
+
+    /// Free a replacement subtree that was never published: nobody else
+    /// has ever observed these nodes, so immediate destruction is safe.
+    pub(crate) fn free_unpublished_new_child(&self, kind: OpKind, new_child: NodePtr<K, V>) {
+        unsafe {
+            // SAFETY: sole owner; loads use the unprotected guard because
+            // the nodes were never shared.
+            let guard = crossbeam_epoch::unprotected();
+            if let OpKind::Insert = kind {
+                let n = &*new_child;
+                let l = n.left.load(SeqCst, guard).as_raw();
+                let r = n.right.load(SeqCst, guard).as_raw();
+                drop(Box::from_raw(l as *mut Node<K, V>));
+                drop(Box::from_raw(r as *mut Node<K, V>));
+            }
+            // For deletes the copy's children are *shared* live nodes —
+            // only the copy itself is ours.
+            drop(Box::from_raw(new_child as *mut Node<K, V>));
+        }
+    }
+
+    /// Defer-free a replacement subtree whose attempt was published but
+    /// aborted. Aborted attempts never perform a child CAS (Lemma 10), so
+    /// the subtree never became reachable; deferral covers helpers that
+    /// may still hold the pointer.
+    pub(crate) fn defer_free_new_child(&self, kind: OpKind, new_child: NodePtr<K, V>, guard: &Guard) {
+        unsafe {
+            if let OpKind::Insert = kind {
+                let n = &*new_child;
+                let l = n.left.load(SeqCst, guard);
+                let r = n.right.load(SeqCst, guard);
+                guard.defer_destroy(l);
+                guard.defer_destroy(r);
+            }
+            guard.defer_destroy(Shared::from(new_child));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_epoch as epoch;
+
+    // The state machine and freezing order are exercised end-to-end by
+    // the tree tests; here we pin down Execute/Help behaviours that are
+    // awkward to reach through the public API alone.
+
+    #[test]
+    fn execute_failure_on_lost_first_cas_retries_cleanly() {
+        // Two inserts of different keys landing under the same parent
+        // must both succeed across retries (one will lose a freeze CAS
+        // occasionally under contention; here we just check the
+        // sequential path repeatedly).
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        for k in 0..100 {
+            assert!(t.insert(k, k));
+        }
+        assert_eq!(t.check_invariants(), 100);
+    }
+
+    #[test]
+    fn help_is_idempotent_on_committed_info() {
+        // After a successful insert the parent stays flagged with the
+        // committed Info; a later delete on the same neighbourhood must
+        // proceed despite that stale flag (Frozen == false on
+        // Flag+Commit).
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        t.insert(10, 1);
+        t.insert(20, 2);
+        assert!(t.delete(&10));
+        assert!(t.delete(&20));
+        assert_eq!(t.check_invariants(), 0);
+    }
+
+    #[test]
+    fn counter_stationary_updates_commit_first_try() {
+        // With no scans, the handshake must never abort.
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        for k in 0..50 {
+            t.insert(k, k);
+        }
+        #[cfg(feature = "stats")]
+        {
+            assert_eq!(t.stats().handshake_aborts, 0);
+        }
+        let _ = &t;
+    }
+
+    #[test]
+    fn cas_child_routes_by_key() {
+        // Exercised indirectly: inserting a smaller key then a larger key
+        // under the same internal node flips which child field the ichild
+        // CAS targets. The structural check verifies placement.
+        let t: PnbBst<i64, i64> = PnbBst::new();
+        t.insert(100, 0);
+        t.insert(50, 0); // left of 100's internal
+        t.insert(150, 0); // right side
+        t.insert(75, 0);
+        t.insert(125, 0);
+        assert_eq!(t.check_invariants(), 5);
+        let guard = &epoch::pin();
+        let seq = t.phase();
+        for k in [50, 75, 100, 125, 150] {
+            let (_, _, l) = t.search(&k, seq, guard);
+            let leaf = unsafe { l.deref() };
+            assert_eq!(leaf.key, crate::key::SKey::Fin(k));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! `Info` objects and the update-word encoding (paper Figure 2, lines 1–14).
+//!
+//! Every update attempt allocates one `Info` object describing the whole
+//! multi-word transaction it wants to perform: which nodes to freeze (flag
+//! or mark), the expected old values of their `update` fields, and the
+//! child-pointer swing (`par`, `old_child` → `new_child`). The `Info`
+//! object is published by the first *freeze CAS* and from then on any
+//! thread can complete ("help") or abort the attempt by driving its state
+//! machine:
+//!
+//! ```text
+//!        handshake ok            all frozen + child CAS
+//!   ⊥ ───────────────► Try ───────────────────────────► Commit
+//!   │                    │
+//!   │ handshake failed   │ some freeze CAS lost
+//!   ▼                    ▼
+//! Abort ◄───────────── Abort
+//! ```
+//!
+//! The paper stores `{Flag, Mark} × Info*` in a single CAS word (the
+//! `Update` record). We reproduce that with a tagged pointer: the low bit
+//! of the `Info` pointer is the [`FreezeTag`].
+//!
+//! # Reclamation
+//!
+//! The paper assumes garbage collection. Here each `Info` carries a
+//! reference count of *node-update-field references* plus one creation
+//! reference (see `DESIGN.md` §3): a successful freeze CAS transfers a
+//! reference from the displaced `Info` to the installed one, and retiring
+//! a node releases the reference held by its (permanently marked) update
+//! field. The count uses an increment-before-CAS discipline so it never
+//! goes negative, and a `retired` flag makes retirement idempotent.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU8};
+
+use crate::node::Node;
+
+/// Raw pointer to a tree node (owned by the tree / epoch collector).
+pub(crate) type NodePtr<K, V> = *const Node<K, V>;
+/// Raw pointer to an `Info` object.
+pub(crate) type InfoPtr<K, V> = *const Info<K, V>;
+
+/// The paper's `{Flag, Mark}` discriminant, stored as the low tag bit of
+/// the `Info` pointer inside a node's `update` word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub(crate) enum FreezeTag {
+    /// The node's child pointer is about to change but the node stays in
+    /// the tree.
+    Flag = 0,
+    /// The node is about to be removed from the (current) tree. Marking is
+    /// permanent if the attempt commits (paper Lemma 23).
+    Mark = 1,
+}
+
+impl FreezeTag {
+    #[inline]
+    pub(crate) fn from_bit(bit: usize) -> Self {
+        if bit & 1 == 0 {
+            FreezeTag::Flag
+        } else {
+            FreezeTag::Mark
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bit(self) -> usize {
+        self as usize
+    }
+}
+
+/// A decoded update word: `(tag, info)` — the paper's `Update` record.
+///
+/// Two words are equal iff both the tag and the pointer are equal, which
+/// is exactly single-word CAS equality on the packed representation.
+pub(crate) struct UpdateWord<K, V> {
+    pub tag: FreezeTag,
+    pub info: InfoPtr<K, V>,
+}
+
+// Manual Copy/Clone: derives would demand K: Clone etc. even though we
+// only hold raw pointers.
+impl<K, V> Clone for UpdateWord<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for UpdateWord<K, V> {}
+
+impl<K, V> PartialEq for UpdateWord<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && std::ptr::eq(self.info, other.info)
+    }
+}
+impl<K, V> Eq for UpdateWord<K, V> {}
+
+impl<K, V> std::fmt::Debug for UpdateWord<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UpdateWord({:?}, {:p})", self.tag, self.info)
+    }
+}
+
+impl<K, V> UpdateWord<K, V> {
+    pub(crate) fn new(tag: FreezeTag, info: InfoPtr<K, V>) -> Self {
+        UpdateWord { tag, info }
+    }
+}
+
+/// `Info.state` values (paper line 6). `u8` backing for `AtomicU8`.
+pub(crate) mod state {
+    /// `⊥` — attempt created, handshake not yet performed.
+    pub const UNDECIDED: u8 = 0;
+    /// Handshake succeeded; freezing in progress.
+    pub const TRY: u8 = 1;
+    /// Child CAS performed; the update took effect.
+    pub const COMMIT: u8 = 2;
+    /// Attempt aborted (handshake failed or a freeze CAS lost).
+    pub const ABORT: u8 = 3;
+}
+
+/// Which operation created an `Info` object. Determines the shape of the
+/// replacement subtree (and therefore what gets retired on commit or freed
+/// on abort).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    /// `Insert`: `new_child` is a fresh internal node with two fresh
+    /// leaves; `old_child` is the replaced leaf.
+    Insert,
+    /// `Delete`: `new_child` is a fresh copy of the sibling; `old_child`
+    /// is the parent being spliced out together with both its children.
+    Delete,
+}
+
+/// Maximum number of nodes an attempt freezes (4, for `Delete`:
+/// `[gp, p, l, sibling]`).
+pub(crate) const MAX_NODES: usize = 4;
+
+/// The paper's `Info` record (Figure 2, lines 5–14) plus reclamation
+/// bookkeeping.
+///
+/// All fields except `state`, `refs` and `retired` are immutable after
+/// construction (paper Observation 1).
+pub(crate) struct Info<K, V> {
+    /// State machine; see module docs.
+    pub state: AtomicU8,
+    /// Sequence number (phase) of the attempt — read from `Counter` at the
+    /// start of the attempt and re-checked by the handshake.
+    pub seq: u64,
+    /// Creating operation kind.
+    pub kind: OpKind,
+    /// Number of valid entries in `nodes` / `old_update` / `mark`.
+    pub len: usize,
+    /// Nodes to freeze, in freeze order (`nodes[0]` is frozen by
+    /// `Execute`, the rest by `Help`).
+    pub nodes: [NodePtr<K, V>; MAX_NODES],
+    /// Expected old values for the freeze CAS steps.
+    pub old_update: [UpdateWord<K, V>; MAX_NODES],
+    /// Whether `nodes[i]` is frozen with `Mark` (to be removed) rather
+    /// than `Flag`.
+    pub mark: [bool; MAX_NODES],
+    /// The node whose child pointer will change (always `nodes[0]`:
+    /// `p` for inserts, `gp` for deletes).
+    pub par: NodePtr<K, V>,
+    /// Expected old value for the child CAS.
+    pub old_child: NodePtr<K, V>,
+    /// New value for the child CAS; `new_child.prev == old_child`.
+    pub new_child: NodePtr<K, V>,
+    /// Node-reference count plus one creation reference (see module docs).
+    pub refs: AtomicIsize,
+    /// Set exactly once by whoever observes `refs == 0`; the winner defers
+    /// destruction through the epoch collector.
+    pub retired: AtomicBool,
+}
+
+impl<K, V> Info<K, V> {
+    /// Build an `Info` for an attempt. `refs` starts at 1 — the creation
+    /// reference held by the creating operation until its `Execute`
+    /// finishes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        kind: OpKind,
+        nodes: &[NodePtr<K, V>],
+        old_update: &[UpdateWord<K, V>],
+        mark: &[bool],
+        par: NodePtr<K, V>,
+        old_child: NodePtr<K, V>,
+        new_child: NodePtr<K, V>,
+        seq: u64,
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), old_update.len());
+        debug_assert_eq!(nodes.len(), mark.len());
+        debug_assert!(nodes.len() <= MAX_NODES && !nodes.is_empty());
+        debug_assert!(std::ptr::eq(par, nodes[0]), "par must be nodes[0]");
+        let mut n = [std::ptr::null(); MAX_NODES];
+        let mut u = [UpdateWord::new(FreezeTag::Flag, std::ptr::null()); MAX_NODES];
+        let mut m = [false; MAX_NODES];
+        n[..nodes.len()].copy_from_slice(nodes);
+        u[..old_update.len()].copy_from_slice(old_update);
+        m[..mark.len()].copy_from_slice(mark);
+        Info {
+            state: AtomicU8::new(state::UNDECIDED),
+            seq,
+            kind,
+            len: nodes.len(),
+            nodes: n,
+            old_update: u,
+            mark: m,
+            par,
+            old_child,
+            new_child,
+            refs: AtomicIsize::new(1),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// The per-tree Dummy `Info` (paper line 30): permanently `Abort`, so
+    /// `Frozen` on a word pointing at it is always false. `retired` is
+    /// preset so the reference-counting machinery can never try to free it
+    /// (the tree owns and frees it on drop).
+    pub(crate) fn dummy() -> Self {
+        Info {
+            state: AtomicU8::new(state::ABORT),
+            seq: 0,
+            kind: OpKind::Insert,
+            len: 0,
+            nodes: [std::ptr::null(); MAX_NODES],
+            old_update: [UpdateWord::new(FreezeTag::Flag, std::ptr::null()); MAX_NODES],
+            mark: [false; MAX_NODES],
+            par: std::ptr::null(),
+            old_child: std::ptr::null(),
+            new_child: std::ptr::null(),
+            refs: AtomicIsize::new(isize::MAX / 2),
+            retired: AtomicBool::new(true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn freeze_tag_roundtrip() {
+        assert_eq!(FreezeTag::from_bit(0), FreezeTag::Flag);
+        assert_eq!(FreezeTag::from_bit(1), FreezeTag::Mark);
+        assert_eq!(FreezeTag::Flag.bit(), 0);
+        assert_eq!(FreezeTag::Mark.bit(), 1);
+        // Only the low bit matters (crossbeam may hand back wider tags).
+        assert_eq!(FreezeTag::from_bit(0b10), FreezeTag::Flag);
+        assert_eq!(FreezeTag::from_bit(0b11), FreezeTag::Mark);
+    }
+
+    #[test]
+    fn update_word_equality_is_tag_and_pointer() {
+        let a = Info::<i64, ()>::dummy();
+        let b = Info::<i64, ()>::dummy();
+        let pa: InfoPtr<i64, ()> = &a;
+        let pb: InfoPtr<i64, ()> = &b;
+        let w1 = UpdateWord::new(FreezeTag::Flag, pa);
+        let w2 = UpdateWord::new(FreezeTag::Flag, pa);
+        let w3 = UpdateWord::new(FreezeTag::Mark, pa);
+        let w4 = UpdateWord::new(FreezeTag::Flag, pb);
+        assert_eq!(w1, w2);
+        assert_ne!(w1, w3); // same pointer, different tag
+        assert_ne!(w1, w4); // same tag, different pointer
+    }
+
+    #[test]
+    fn dummy_is_aborted_and_unretirable() {
+        let d = Info::<u32, u32>::dummy();
+        assert_eq!(d.state.load(Ordering::SeqCst), state::ABORT);
+        assert!(d.retired.load(Ordering::SeqCst));
+        assert_eq!(d.len, 0);
+    }
+
+    #[test]
+    fn new_info_starts_undecided_with_creation_ref() {
+        let d = Info::<u32, u32>::dummy();
+        let pd: InfoPtr<u32, u32> = &d;
+        let w = UpdateWord::new(FreezeTag::Flag, pd);
+        // Fake node pointers: `Info::new` never dereferences them.
+        let fake = [1usize as NodePtr<u32, u32>, 2 as NodePtr<u32, u32>];
+        let info = Info::new(
+            OpKind::Insert,
+            &fake,
+            &[w, w],
+            &[false, true],
+            fake[0],
+            fake[1],
+            3 as NodePtr<u32, u32>,
+            7,
+        );
+        assert_eq!(info.state.load(Ordering::SeqCst), state::UNDECIDED);
+        assert_eq!(info.refs.load(Ordering::SeqCst), 1);
+        assert!(!info.retired.load(Ordering::SeqCst));
+        assert_eq!(info.len, 2);
+        assert_eq!(info.seq, 7);
+        assert!(info.mark[1] && !info.mark[0]);
+    }
+}

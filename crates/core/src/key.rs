@@ -1,0 +1,112 @@
+//! Key type with the paper's two infinity sentinels.
+//!
+//! The tree of Fatourou & Ruppert is initialized (Figure 2, lines 28–31)
+//! with a root `Internal` node whose key is `∞₂` and two sentinel leaves
+//! with keys `∞₁` and `∞₂`, where every finite key is smaller than `∞₁`
+//! and `∞₁ < ∞₂`. [`SKey`] encodes exactly that ordering: the derived
+//! `Ord` ranks `Fin(_) < Inf1 < Inf2` because of variant order.
+
+use std::cmp::Ordering;
+
+/// A key extended with the paper's `∞₁` / `∞₂` sentinels.
+///
+/// Only `Fin` keys are ever visible through the public API; the sentinels
+/// exist so the tree is always *full* (every internal node has two
+/// children) and a search for any finite key terminates at a leaf.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SKey<K> {
+    /// A finite application key.
+    Fin(K),
+    /// The paper's `∞₁`: greater than every finite key.
+    Inf1,
+    /// The paper's `∞₂`: greater than everything, including `∞₁`.
+    Inf2,
+}
+
+impl<K> SKey<K> {
+    /// Whether this is a finite (application-visible) key.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        matches!(self, SKey::Fin(_))
+    }
+
+    /// Borrow the finite key, if any.
+    #[inline]
+    pub fn as_finite(&self) -> Option<&K> {
+        match self {
+            SKey::Fin(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+impl<K: Ord> SKey<K> {
+    /// Compare a finite query key against this (possibly infinite) key.
+    ///
+    /// This is the `k < v.key` comparison used by `Search`,
+    /// `ValidateLeaf` and `CAS-Child` in the paper: every finite key is
+    /// smaller than both sentinels.
+    #[inline]
+    pub fn cmp_fin(&self, k: &K) -> Ordering {
+        match self {
+            SKey::Fin(me) => me.cmp(k),
+            // Sentinels are greater than any finite key.
+            SKey::Inf1 | SKey::Inf2 => Ordering::Greater,
+        }
+    }
+
+    /// `k < self` for a finite query key `k` (the search descent test).
+    #[inline]
+    pub fn fin_lt(&self, k: &K) -> bool {
+        self.cmp_fin(k) == Ordering::Greater
+    }
+
+    /// `k == self` for a finite query key `k`.
+    #[inline]
+    pub fn fin_eq(&self, k: &K) -> bool {
+        self.cmp_fin(k) == Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_ordering() {
+        // ∞₁ is larger than every finite key, ∞₂ larger still.
+        assert!(SKey::Fin(i64::MAX) < SKey::Inf1::<i64>);
+        assert!(SKey::Inf1::<i64> < SKey::Inf2::<i64>);
+        assert!(SKey::Fin(0) < SKey::Fin(1));
+        assert!(SKey::Fin(i64::MIN) < SKey::Inf2::<i64>);
+    }
+
+    #[test]
+    fn cmp_fin_against_sentinels() {
+        assert_eq!(SKey::Inf1::<u32>.cmp_fin(&u32::MAX), Ordering::Greater);
+        assert_eq!(SKey::Inf2::<u32>.cmp_fin(&0), Ordering::Greater);
+        assert_eq!(SKey::Fin(5u32).cmp_fin(&5), Ordering::Equal);
+        assert_eq!(SKey::Fin(4u32).cmp_fin(&5), Ordering::Less);
+        assert_eq!(SKey::Fin(6u32).cmp_fin(&5), Ordering::Greater);
+    }
+
+    #[test]
+    fn fin_lt_matches_search_semantics() {
+        // `fin_lt(k)` answers "does the search for k go left at a node
+        // with this key", i.e. k < key.
+        assert!(SKey::Fin(10u8).fin_lt(&9));
+        assert!(!SKey::Fin(10u8).fin_lt(&10)); // equal goes right
+        assert!(!SKey::Fin(10u8).fin_lt(&11));
+        assert!(SKey::Inf1::<u8>.fin_lt(&255));
+        assert!(SKey::Inf2::<u8>.fin_lt(&255));
+    }
+
+    #[test]
+    fn finite_accessors() {
+        assert!(SKey::Fin(1).is_finite());
+        assert!(!SKey::Inf1::<i32>.is_finite());
+        assert!(!SKey::Inf2::<i32>.is_finite());
+        assert_eq!(SKey::Fin(7).as_finite(), Some(&7));
+        assert_eq!(SKey::Inf1::<i32>.as_finite(), None);
+    }
+}

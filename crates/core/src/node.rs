@@ -1,0 +1,176 @@
+//! Tree nodes (paper Figure 2, lines 15–27).
+//!
+//! The paper distinguishes `Internal` and `Leaf` subtypes of `Node`. We
+//! use a single struct with a `leaf` discriminant: leaves have null child
+//! pointers and (for finite keys) carry the user value; internal nodes
+//! have two non-null children and no value.
+//!
+//! Immutability discipline (paper Observation 1): `key`, `value`, `seq`,
+//! `prev` and `leaf` never change after construction. Only `update`,
+//! `left` and `right` are mutated, and only by CAS after initialization.
+//!
+//! The `prev` pointer is what makes the tree *persistent*: whenever a
+//! child CAS replaces node `u` by `u'`, `u'.prev == u`, so
+//! `ReadChild(p, dir, i)` can walk back to the *version-i* child — the
+//! first node in the chain whose `seq ≤ i` (§4.1).
+
+use crossbeam_epoch::{Atomic, Guard, Shared};
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::info::{FreezeTag, Info, InfoPtr, NodePtr, UpdateWord};
+use crate::key::SKey;
+
+/// A tree node. See module docs for the invariants.
+pub(crate) struct Node<K, V> {
+    /// Routing / stored key (leaf-oriented: only leaf keys are elements).
+    pub key: SKey<K>,
+    /// User value; `Some` only on leaves with finite keys.
+    pub value: Option<V>,
+    /// Sequence number of the operation that created this node.
+    pub seq: u64,
+    /// Previous version of the tree position this node occupies; null for
+    /// fresh leaves and the initial nodes. Immutable.
+    pub prev: NodePtr<K, V>,
+    /// The paper's `Update` CAS word: tagged pointer to an [`Info`].
+    pub update: Atomic<Info<K, V>>,
+    /// Left child (null iff leaf).
+    pub left: Atomic<Node<K, V>>,
+    /// Right child (null iff leaf).
+    pub right: Atomic<Node<K, V>>,
+    /// Leaf / internal discriminant.
+    pub leaf: bool,
+}
+
+impl<K, V> Node<K, V> {
+    /// A fresh leaf, flagged with the tree's dummy `Info` object.
+    pub(crate) fn leaf(
+        key: SKey<K>,
+        value: Option<V>,
+        seq: u64,
+        prev: NodePtr<K, V>,
+        dummy: InfoPtr<K, V>,
+    ) -> Self {
+        Node {
+            key,
+            value,
+            seq,
+            prev,
+            update: Atomic::from(dummy_word(dummy)),
+            left: Atomic::null(),
+            right: Atomic::null(),
+            leaf: true,
+        }
+    }
+
+    /// A fresh internal node with the given children.
+    pub(crate) fn internal(
+        key: SKey<K>,
+        seq: u64,
+        prev: NodePtr<K, V>,
+        left: NodePtr<K, V>,
+        right: NodePtr<K, V>,
+        dummy: InfoPtr<K, V>,
+    ) -> Self {
+        Node {
+            key,
+            value: None,
+            seq,
+            prev,
+            update: Atomic::from(dummy_word(dummy)),
+            left: Atomic::from(Shared::from(left)),
+            right: Atomic::from(Shared::from(right)),
+            leaf: false,
+        }
+    }
+
+    /// Load and decode this node's update word.
+    #[inline]
+    pub(crate) fn load_update(&self, guard: &Guard) -> UpdateWord<K, V> {
+        let s = self.update.load(SeqCst, guard);
+        UpdateWord::new(FreezeTag::from_bit(s.tag()), s.as_raw())
+    }
+
+    /// Load the raw left or right child pointer (`left == true` ↔ left),
+    /// matching `ReadChild` line 45.
+    #[inline]
+    pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        if left {
+            self.left.load(SeqCst, guard)
+        } else {
+            self.right.load(SeqCst, guard)
+        }
+    }
+}
+
+/// Encode the initial `⟨Flag, Dummy⟩` update word.
+#[inline]
+pub(crate) fn dummy_word<'g, K, V>(dummy: InfoPtr<K, V>) -> Shared<'g, Info<K, V>> {
+    Shared::from(dummy).with_tag(FreezeTag::Flag.bit())
+}
+
+/// Encode an update word back into a tagged `Shared` for use as a CAS
+/// expected/new value.
+#[inline]
+pub(crate) fn word_shared<'g, K, V>(w: UpdateWord<K, V>) -> Shared<'g, Info<K, V>> {
+    Shared::from(w.info).with_tag(w.tag.bit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::state;
+    use std::sync::atomic::Ordering;
+
+    fn dummy() -> Box<Info<u64, u64>> {
+        Box::new(Info::dummy())
+    }
+
+    #[test]
+    fn fresh_leaf_shape() {
+        let d = dummy();
+        let dp: InfoPtr<u64, u64> = &*d;
+        let l = Node::leaf(SKey::Fin(42), Some(7), 3, std::ptr::null(), dp);
+        assert!(l.leaf);
+        assert_eq!(l.seq, 3);
+        assert_eq!(l.key, SKey::Fin(42));
+        assert_eq!(l.value, Some(7));
+        assert!(l.prev.is_null());
+        let g = crossbeam_epoch::pin();
+        assert!(l.left.load(SeqCst, &g).is_null());
+        assert!(l.right.load(SeqCst, &g).is_null());
+        let w = l.load_update(&g);
+        assert_eq!(w.tag, FreezeTag::Flag);
+        assert!(std::ptr::eq(w.info, dp));
+        unsafe {
+            assert_eq!((*w.info).state.load(Ordering::SeqCst), state::ABORT);
+        }
+    }
+
+    #[test]
+    fn fresh_internal_points_at_children() {
+        let d = dummy();
+        let dp: InfoPtr<u64, u64> = &*d;
+        let a = Node::leaf(SKey::Fin(1), Some(1), 0, std::ptr::null(), dp);
+        let b = Node::leaf(SKey::Fin(2), Some(2), 0, std::ptr::null(), dp);
+        let (pa, pb): (NodePtr<u64, u64>, NodePtr<u64, u64>) = (&a, &b);
+        let i = Node::internal(SKey::Fin(2), 5, pa, pa, pb, dp);
+        assert!(!i.leaf);
+        assert!(i.value.is_none());
+        assert!(std::ptr::eq(i.prev, pa));
+        let g = crossbeam_epoch::pin();
+        assert_eq!(i.load_child(true, &g).as_raw(), pa);
+        assert_eq!(i.load_child(false, &g).as_raw(), pb);
+    }
+
+    #[test]
+    fn word_shared_roundtrip() {
+        let d = dummy();
+        let dp: InfoPtr<u64, u64> = &*d;
+        for tag in [FreezeTag::Flag, FreezeTag::Mark] {
+            let w = UpdateWord::new(tag, dp);
+            let s = word_shared(w);
+            assert_eq!(FreezeTag::from_bit(s.tag()), tag);
+            assert!(std::ptr::eq(s.as_raw(), dp));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic fault injection (feature `testing-internals`).
+//!
+//! The paper's progress and linearizability arguments hinge on what
+//! happens when an operation stalls (or its process crashes) *between*
+//! its first freeze CAS and the rest of its protocol — that is exactly
+//! when other operations must help it (§4.1 walks through the
+//! `Insert(1)` / `RangeScan` / `Find(1)` scenario). This module lets
+//! tests create that window on demand:
+//!
+//! * [`PnbBst::insert_paused`] / [`PnbBst::delete_paused`] run a normal
+//!   update until an attempt *publishes* its `Info` object (first freeze
+//!   CAS succeeds) and then stop, returning a [`PausedUpdate`] handle.
+//! * While paused, the operation is visible to every other thread exactly
+//!   like a stalled process: `Find`s, updates and scans that encounter
+//!   the flag will help (and may commit or handshake-abort the attempt).
+//! * [`PausedUpdate::resume`] finishes the protocol (it may discover the
+//!   attempt was already committed or aborted by helpers) — it performs
+//!   one attempt only and reports the outcome rather than retrying.
+//! * [`PausedUpdate::abandon`] (or dropping the handle) simulates a crash:
+//!   the operation is never resumed; helpers remain responsible for it.
+//!   Memory that only the crashed thread could free is intentionally
+//!   leaked, mirroring the paper's crash-failure model.
+
+use crossbeam_epoch::{self as epoch, Guard};
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::info::{state, InfoPtr};
+use crate::tree::{PnbBst, UpdateOutcome};
+
+/// Outcome of starting a pausable update.
+pub enum PauseOutcome<'t, K, V> {
+    /// The operation completed without ever publishing (e.g. inserting a
+    /// duplicate / deleting a missing key): no pause window exists.
+    Completed(bool),
+    /// The operation is suspended right after its first freeze CAS.
+    Paused(PausedUpdate<'t, K, V>),
+}
+
+/// Observable protocol state of a paused attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PausedState {
+    /// `⊥` — nobody has performed the handshake yet.
+    Undecided,
+    /// Handshake done; freezing in progress.
+    Try,
+    /// A helper already committed the attempt.
+    Committed,
+    /// The attempt aborted (handshake failure or lost freeze CAS).
+    Aborted,
+}
+
+/// A suspended update operation (see module docs).
+pub struct PausedUpdate<'t, K, V> {
+    tree: &'t PnbBst<K, V>,
+    info: InfoPtr<K, V>,
+    /// Pinned for the whole pause so the nodes recorded in `info` cannot
+    /// be reclaimed even if helpers complete and retire them.
+    guard: Option<Guard>,
+    resumed: bool,
+}
+
+// SAFETY: the handle only allows resuming/observing the protocol; all
+// shared state it touches is atomics + epoch-protected memory.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for PausedUpdate<'_, K, V> {}
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Start an insert and suspend it right after it publishes (first
+    /// freeze CAS succeeds). Attempts that fail before publishing retry
+    /// internally, exactly like a real insert.
+    pub fn insert_paused(&self, key: K, value: V) -> PauseOutcome<'_, K, V> {
+        let guard = epoch::pin();
+        match self.insert_impl(&key, &value, true, &guard) {
+            UpdateOutcome::Done(b) => PauseOutcome::Completed(b),
+            UpdateOutcome::Paused(info) => PauseOutcome::Paused(PausedUpdate {
+                tree: self,
+                info,
+                guard: Some(guard),
+                resumed: false,
+            }),
+        }
+    }
+
+    /// Start a delete and suspend it right after it publishes.
+    pub fn delete_paused(&self, key: &K) -> PauseOutcome<'_, K, V> {
+        let guard = epoch::pin();
+        match self.delete_impl(key, true, &guard) {
+            UpdateOutcome::Done(v) => PauseOutcome::Completed(v.is_some()),
+            UpdateOutcome::Paused(info) => PauseOutcome::Paused(PausedUpdate {
+                tree: self,
+                info,
+                guard: Some(guard),
+                resumed: false,
+            }),
+        }
+    }
+}
+
+impl<K, V> PausedUpdate<'_, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// The attempt's sequence number (phase).
+    pub fn seq(&self) -> u64 {
+        // SAFETY: we hold the creation reference; `info` is alive.
+        unsafe { (*self.info).seq }
+    }
+
+    /// Current protocol state (may be changed concurrently by helpers).
+    pub fn state(&self) -> PausedState {
+        // SAFETY: as above.
+        match unsafe { (*self.info).state.load(SeqCst) } {
+            state::UNDECIDED => PausedState::Undecided,
+            state::TRY => PausedState::Try,
+            state::COMMIT => PausedState::Committed,
+            state::ABORT => PausedState::Aborted,
+            _ => unreachable!("invalid state byte"),
+        }
+    }
+
+    /// Finish the suspended attempt (run `Help` and clean up). Returns
+    /// `true` iff this attempt committed — note that helpers may already
+    /// have committed or aborted it while it was paused. Unlike a real
+    /// update, an aborted attempt is *not* retried; the caller decides.
+    pub fn resume(mut self) -> bool {
+        self.resumed = true;
+        let guard = self.guard.take().expect("guard present until resumed");
+        self.tree.finish_published(self.info, &guard)
+    }
+
+    /// Simulate a crash: never resume. Helpers own the attempt's fate
+    /// from here; memory only the crashed thread could have freed (its
+    /// creation reference, and the replacement subtree if the attempt
+    /// aborts) is leaked, which is the paper's crash model.
+    pub fn abandon(mut self) {
+        self.resumed = true;
+        self.guard.take();
+    }
+}
+
+impl<K, V> Drop for PausedUpdate<'_, K, V> {
+    fn drop(&mut self) {
+        // Dropping without resume == crash (abandon).
+        self.guard.take();
+        let _ = self.resumed;
+    }
+}

@@ -1,0 +1,600 @@
+//! The PNB-BST itself: construction, `Insert`, `Delete`, `Find`
+//! (paper Figure 5 and Figure 3 lines 69–82), and teardown.
+//!
+//! The tree is *leaf-oriented*: all elements live in leaves; internal
+//! nodes only route. It is *full*: every internal node has exactly two
+//! children, maintained by the subtree-replacement shapes of Figure 1.
+//! It is *persistent*: replaced nodes stay linked through `prev` pointers
+//! so that an operation belonging to phase `i` can reconstruct the
+//! version-`i` tree `T_i` (see [`crate::scan`] and [`crate::snapshot`]).
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::AtomicU64;
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::info::{Info, InfoPtr, NodePtr, OpKind, UpdateWord};
+use crate::key::SKey;
+use crate::node::Node;
+use crate::stats::{Stats, StatsSnapshot};
+
+/// A persistent non-blocking binary search tree supporting wait-free
+/// range queries, after Fatourou & Ruppert (SPAA 2019).
+///
+/// * [`insert`](Self::insert), [`delete`](Self::delete) and
+///   [`get`](Self::get)/[`contains`](Self::contains) are lock-free
+///   (non-blocking): some operation always completes in a bounded number
+///   of steps system-wide, and operations on different parts of the tree
+///   do not interfere.
+/// * [`range_scan`](Self::range_scan) (and friends) are **wait-free**:
+///   every scan completes in a bounded number of its own steps, no matter
+///   what other threads do, because it traverses the immutable
+///   version-`seq` tree of its phase.
+///
+/// Keys follow the paper's *set* semantics: inserting a key that is
+/// already present fails (returns `false`) rather than replacing the
+/// value.
+///
+/// # Example
+///
+/// ```
+/// use pnb_bst::PnbBst;
+///
+/// let tree: PnbBst<u64, &str> = PnbBst::new();
+/// assert!(tree.insert(2, "two"));
+/// assert!(tree.insert(5, "five"));
+/// assert!(!tree.insert(2, "again")); // no replace
+/// assert_eq!(tree.get(&5), Some("five"));
+/// assert_eq!(tree.range_scan(&0, &10), vec![(2, "two"), (5, "five")]);
+/// assert_eq!(tree.delete(&2), true);
+/// assert_eq!(tree.get(&2), None);
+/// ```
+pub struct PnbBst<K, V> {
+    /// The root `Internal` node (key `∞₂`); never changes (Observation 1).
+    pub(crate) root: NodePtr<K, V>,
+    /// The paper's shared `Counter`: the current phase number. Incremented
+    /// only by range scans / snapshots; read at the start of every update
+    /// attempt and re-checked by the handshake.
+    pub(crate) counter: CachePadded<AtomicU64>,
+    /// The per-tree Dummy `Info` object (state permanently `Abort`).
+    pub(crate) dummy: InfoPtr<K, V>,
+    pub(crate) stats: Stats,
+}
+
+// SAFETY: the structure is designed for concurrent use — all shared
+// mutable state is behind atomics and the epoch collector; `K`/`V` cross
+// threads both in shared reads and in deferred destruction, hence the
+// `Send + Sync` bounds on both.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for PnbBst<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for PnbBst<K, V> {}
+
+/// Result of one call to the internal update driver: either the operation
+/// finished with a result, or (testing only) it was suspended right after
+/// publishing its `Info` object.
+pub(crate) enum UpdateOutcome<R, K, V> {
+    Done(R),
+    #[allow(dead_code)] // constructed only with `pause == true`
+    Paused(InfoPtr<K, V>),
+}
+
+impl<K, V> Default for PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Create an empty tree: a root with key `∞₂` whose children are the
+    /// sentinel leaves `∞₁` and `∞₂` (paper Figure 2, lines 28–31).
+    pub fn new() -> Self {
+        let dummy: InfoPtr<K, V> = Box::into_raw(Box::new(Info::dummy()));
+        let left: NodePtr<K, V> =
+            Box::into_raw(Box::new(Node::leaf(SKey::Inf1, None, 0, std::ptr::null(), dummy)));
+        let right: NodePtr<K, V> =
+            Box::into_raw(Box::new(Node::leaf(SKey::Inf2, None, 0, std::ptr::null(), dummy)));
+        let root: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(
+            SKey::Inf2,
+            0,
+            std::ptr::null(),
+            left,
+            right,
+            dummy,
+        )));
+        PnbBst {
+            root,
+            counter: CachePadded::new(AtomicU64::new(0)),
+            dummy,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The current phase number (the paper's `Counter`). Mostly useful
+    /// for diagnostics and tests: it advances once per range scan or
+    /// snapshot.
+    pub fn phase(&self) -> u64 {
+        self.counter.load(SeqCst)
+    }
+
+    /// Read the operation statistics counters (all zero unless the
+    /// `stats` feature is enabled).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Insert `key → value`. Returns `true` if the key was absent and was
+    /// inserted, `false` if it was already present (the paper's set
+    /// semantics — no replacement happens).
+    ///
+    /// Lock-free; linearizes at the first freeze CAS of the successful
+    /// attempt (if it succeeds) or at the validated read of the parent's
+    /// update field (if the key was present).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let guard = &epoch::pin();
+        match self.insert_impl(&key, &value, false, guard) {
+            UpdateOutcome::Done(b) => b,
+            UpdateOutcome::Paused(_) => unreachable!("pause=false"),
+        }
+    }
+
+    /// Remove `key`, returning `true` if it was present.
+    pub fn delete(&self, key: &K) -> bool {
+        self.remove(key).is_some()
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        match self.delete_impl(key, false, guard) {
+            UpdateOutcome::Done(v) => v,
+            UpdateOutcome::Paused(_) => unreachable!("pause=false"),
+        }
+    }
+
+    /// Look up `key` (the paper's `Find`, lines 69–82). Returns a clone
+    /// of the stored value.
+    ///
+    /// Helps at most the updates pending on the parent/grandparent of the
+    /// leaf it arrives at (the paper's lightweight helping).
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        loop {
+            let seq = self.counter.load(SeqCst); // line 74
+            let (gp, p, l) = self.search(key, seq, guard); // line 75
+            // SAFETY: `search` returns non-null p and l (Invariant 4.7).
+            let p_ref = unsafe { p.deref() };
+            if self.validate_leaf(gp, p_ref, l, key, guard).is_some() {
+                // Linearized during the successful validation.
+                let l_ref = unsafe { l.deref() };
+                return if l_ref.key.fin_eq(key) {
+                    l_ref.value.clone()
+                } else {
+                    None
+                };
+            }
+            self.stats.validation_failures();
+        }
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = &epoch::pin();
+        loop {
+            let seq = self.counter.load(SeqCst);
+            let (gp, p, l) = self.search(key, seq, guard);
+            let p_ref = unsafe { p.deref() };
+            if self.validate_leaf(gp, p_ref, l, key, guard).is_some() {
+                let l_ref = unsafe { l.deref() };
+                return l_ref.key.fin_eq(key);
+            }
+            self.stats.validation_failures();
+        }
+    }
+
+    /// One full `Insert` driver (paper lines 147–168). `pause == true`
+    /// (testing only) suspends right after the attempt's first freeze CAS
+    /// succeeds, returning the published `Info`.
+    pub(crate) fn insert_impl(
+        &self,
+        key: &K,
+        value: &V,
+        pause: bool,
+        guard: &Guard,
+    ) -> UpdateOutcome<bool, K, V> {
+        loop {
+            self.stats.update_attempts();
+            let seq = self.counter.load(SeqCst); // line 155
+            let (gp, p, l) = self.search(key, seq, guard); // line 156
+            // SAFETY: non-null per Invariant 4.8.
+            let p_ref = unsafe { p.deref() };
+            let l_ref = unsafe { l.deref() };
+            let Some((_, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
+                self.stats.validation_failures();
+                continue;
+            };
+            if l_ref.key.fin_eq(key) {
+                return UpdateOutcome::Done(false); // line 159: duplicate
+            }
+            // Build the replacement subtree (lines 161–163): two fresh
+            // leaves under a fresh internal node whose prev is `l`.
+            let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+                SKey::Fin(key.clone()),
+                Some(value.clone()),
+                seq,
+                std::ptr::null(),
+                self.dummy,
+            )));
+            let sibling_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+                l_ref.key.clone(),
+                l_ref.value.clone(),
+                seq,
+                std::ptr::null(),
+                self.dummy,
+            )));
+            // Smaller key goes left; the internal node takes the larger key.
+            let key_lt_leaf = l_ref.key.fin_lt(key); // k < l.key
+            let (lc, rc) = if key_lt_leaf {
+                (new_leaf, sibling_leaf)
+            } else {
+                (sibling_leaf, new_leaf)
+            };
+            let internal_key = std::cmp::max(SKey::Fin(key.clone()), l_ref.key.clone());
+            let new_internal: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(
+                internal_key,
+                seq,
+                l.as_raw(),
+                lc,
+                rc,
+                self.dummy,
+            )));
+            let l_update = l_ref.load_update(guard); // read at call site (line 164)
+            let nodes = [p.as_raw(), l.as_raw()];
+            let old_update = [pupdate, l_update];
+            let mark = [false, true];
+            match self.execute(
+                OpKind::Insert,
+                &nodes,
+                &old_update,
+                &mark,
+                p.as_raw(),
+                l.as_raw(),
+                new_internal,
+                seq,
+                pause,
+                guard,
+            ) {
+                UpdateOutcome::Done(true) => return UpdateOutcome::Done(true),
+                UpdateOutcome::Done(false) => continue,
+                paused @ UpdateOutcome::Paused(_) => return paused,
+            }
+        }
+    }
+
+    /// One full `Delete` driver (paper lines 169–195).
+    pub(crate) fn delete_impl(
+        &self,
+        key: &K,
+        pause: bool,
+        guard: &Guard,
+    ) -> UpdateOutcome<Option<V>, K, V> {
+        loop {
+            self.stats.update_attempts();
+            let seq = self.counter.load(SeqCst); // line 177
+            let (gp, p, l) = self.search(key, seq, guard); // line 178
+            // SAFETY: non-null per Invariant 4.9.
+            let p_ref = unsafe { p.deref() };
+            let l_ref = unsafe { l.deref() };
+            let Some((gpupdate, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
+                self.stats.validation_failures();
+                continue;
+            };
+            if !l_ref.key.fin_eq(key) {
+                return UpdateOutcome::Done(None); // line 181: absent
+            }
+            // `l.key == k` is finite, so p != Root and gp is non-null
+            // (Invariant 4.9) and gpupdate was produced by validation.
+            let gpupdate = gpupdate.expect("gp validated when l.key is finite");
+            // Locate the sibling in T_seq (line 182): if l is the right
+            // child (l.key >= p.key) the sibling is the left child.
+            let sib_is_left = !p_ref.key.fin_lt(key); // l.key >= p.key ⟺ !(k < p.key)
+            let sibling = self.read_child(p_ref, sib_is_left, seq, guard);
+            // Line 183: sibling must be the *current* child of p.
+            let Some(_) = self.validate_link(p_ref, sibling, sib_is_left, guard) else {
+                self.stats.validation_failures();
+                continue;
+            };
+            // SAFETY: read_child returns non-null (Invariant 4.5).
+            let sib_ref = unsafe { sibling.deref() };
+            // Build the replacement: a copy of the sibling with seq = seq
+            // and prev = p (line 185). Sharing the sibling's children is
+            // safe because the sibling is frozen before the child CAS.
+            let new_node: NodePtr<K, V> = if sib_ref.leaf {
+                Box::into_raw(Box::new(Node::leaf(
+                    sib_ref.key.clone(),
+                    sib_ref.value.clone(),
+                    seq,
+                    p.as_raw(),
+                    self.dummy,
+                )))
+            } else {
+                let sl = sib_ref.load_child(true, guard);
+                let sr = sib_ref.load_child(false, guard);
+                Box::into_raw(Box::new(Node::internal(
+                    sib_ref.key.clone(),
+                    seq,
+                    p.as_raw(),
+                    sl.as_raw(),
+                    sr.as_raw(),
+                    self.dummy,
+                )))
+            };
+            // Lines 186–189: obtain supdate, validating that the copied
+            // children are still the sibling's current children.
+            let supdate: UpdateWord<K, V> = if !sib_ref.leaf {
+                // SAFETY: new_node was just allocated by us.
+                let nn = unsafe { &*new_node };
+                let nl = nn.load_child(true, guard);
+                let nr = nn.load_child(false, guard);
+                let first = self.validate_link(sib_ref, nl, true, guard);
+                let ok = match first {
+                    Some(up) => self.validate_link(sib_ref, nr, false, guard).map(|_| up),
+                    None => None,
+                };
+                match ok {
+                    Some(up) => up,
+                    None => {
+                        self.stats.validation_failures();
+                        // Never published: free the copy immediately.
+                        // SAFETY: no other thread has seen new_node.
+                        unsafe {
+                            drop(Box::from_raw(new_node as *mut Node<K, V>));
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                sib_ref.load_update(guard) // line 189
+            };
+            // Capture the value before the leaf may be retired.
+            let removed = l_ref.value.clone();
+            let nodes = [gp.as_raw(), p.as_raw(), l.as_raw(), sibling.as_raw()];
+            let l_update = l_ref.load_update(guard); // read at call site (line 190)
+            let old_update = [gpupdate, pupdate, l_update, supdate];
+            let mark = [false, true, true, true];
+            match self.execute(
+                OpKind::Delete,
+                &nodes,
+                &old_update,
+                &mark,
+                gp.as_raw(),
+                p.as_raw(),
+                new_node,
+                seq,
+                pause,
+                guard,
+            ) {
+                UpdateOutcome::Done(true) => return UpdateOutcome::Done(removed),
+                UpdateOutcome::Done(false) => continue,
+                UpdateOutcome::Paused(i) => return UpdateOutcome::Paused(i),
+            }
+        }
+    }
+}
+
+impl<K, V> Drop for PnbBst<K, V> {
+    fn drop(&mut self) {
+        // We have `&mut self`: no operation is in flight, so the *current*
+        // tree (child pointers only — every prev-target was already
+        // retired through the epoch collector when it was unlinked) plus
+        // the dummy Info are exactly what we still own.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut stack: Vec<NodePtr<K, V>> = vec![self.root];
+            while let Some(ptr) = stack.pop() {
+                let node = &*ptr;
+                // Release the Info reference held by this node's update
+                // field.
+                let info = node.update.load(SeqCst, guard).as_raw();
+                if !std::ptr::eq(info, self.dummy) {
+                    let i = &*info;
+                    debug_assert!(
+                        !i.retired.load(SeqCst),
+                        "live node references a retired Info"
+                    );
+                    if i.refs.fetch_sub(1, SeqCst) == 1 {
+                        drop(Box::from_raw(info as *mut Info<K, V>));
+                    }
+                }
+                if !node.leaf {
+                    stack.push(node.left.load(SeqCst, guard).as_raw());
+                    stack.push(node.right.load(SeqCst, guard).as_raw());
+                }
+                drop(Box::from_raw(ptr as *mut Node<K, V>));
+            }
+            drop(Box::from_raw(self.dummy as *mut Info<K, V>));
+        }
+    }
+}
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Walk the current tree and verify structural invariants: full
+    /// (internal ⇒ two children), leaf-oriented BST ordering (paper
+    /// Invariant 36 for `T_∞`), sentinel placement, and monotone `seq`
+    /// bounds. Returns the number of finite keys.
+    ///
+    /// Intended for tests at quiescent points (a concurrent walk may span
+    /// several versions and report spurious violations).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        let guard = &epoch::pin();
+        let counter = self.counter.load(SeqCst);
+        let mut count = 0usize;
+        // (node, lower bound exclusive?, upper bound) — keys in a left
+        // subtree are < parent key; right subtree keys are >= parent key.
+        type Frame<'g, K, V> = (Shared<'g, Node<K, V>>, Option<SKey<K>>, Option<SKey<K>>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(Shared::from(self.root), None, None)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            assert!(!n.is_null(), "null child in current tree");
+            // SAFETY: reachable from root under our guard.
+            let node = unsafe { n.deref() };
+            assert!(node.seq <= counter, "node seq exceeds Counter");
+            if let Some(lo) = &lo {
+                assert!(node.key >= *lo, "BST violation: key below lower bound");
+            }
+            if let Some(hi) = &hi {
+                assert!(node.key < *hi, "BST violation: key above upper bound");
+            }
+            if node.leaf {
+                if node.key.is_finite() {
+                    assert!(node.value.is_some(), "finite leaf without value");
+                    count += 1;
+                }
+            } else {
+                assert!(node.value.is_none(), "internal node with value");
+                let l = node.load_child(true, guard);
+                let r = node.load_child(false, guard);
+                assert!(!l.is_null() && !r.is_null(), "internal node not full");
+                stack.push((l, lo.clone(), Some(node.key.clone())));
+                stack.push((r, Some(node.key.clone()), hi));
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_shape() {
+        let t: PnbBst<i64, ()> = PnbBst::new();
+        assert_eq!(t.check_invariants(), 0);
+        assert_eq!(t.phase(), 0);
+        assert!(!t.contains(&7));
+        assert_eq!(t.get(&7), None);
+    }
+
+    #[test]
+    fn insert_then_find() {
+        let t: PnbBst<i64, String> = PnbBst::new();
+        assert!(t.insert(10, "ten".into()));
+        assert!(t.insert(5, "five".into()));
+        assert!(t.insert(20, "twenty".into()));
+        assert_eq!(t.get(&10), Some("ten".to_string()));
+        assert_eq!(t.get(&5), Some("five".to_string()));
+        assert_eq!(t.get(&20), Some("twenty".to_string()));
+        assert_eq!(t.get(&15), None);
+        assert_eq!(t.check_invariants(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        assert!(t.insert(1, 100));
+        assert!(!t.insert(1, 200));
+        // Set semantics: the original value survives.
+        assert_eq!(t.get(&1), Some(100));
+        assert_eq!(t.check_invariants(), 1);
+    }
+
+    #[test]
+    fn delete_leaf_and_missing() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        assert!(!t.delete(&3)); // absent from empty tree
+        t.insert(3, 30);
+        t.insert(1, 10);
+        t.insert(4, 40);
+        assert_eq!(t.remove(&3), Some(30));
+        assert!(!t.contains(&3));
+        assert!(!t.delete(&3)); // already gone
+        assert!(t.contains(&1) && t.contains(&4));
+        assert_eq!(t.check_invariants(), 2);
+    }
+
+    #[test]
+    fn delete_down_to_empty_and_reinsert() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        for k in 0..20 {
+            assert!(t.insert(k, k * 2));
+        }
+        for k in 0..20 {
+            assert_eq!(t.remove(&k), Some(k * 2));
+        }
+        assert_eq!(t.check_invariants(), 0);
+        for k in 0..20 {
+            assert!(t.insert(k, k + 1));
+        }
+        assert_eq!(t.check_invariants(), 20);
+        for k in 0..20 {
+            assert_eq!(t.get(&k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn interleaved_sequence_matches_btreemap() {
+        use std::collections::BTreeMap;
+        let t: PnbBst<i32, i32> = PnbBst::new();
+        let mut model = BTreeMap::new();
+        // Deterministic pseudo-random walk.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for step in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 33) % 64) as i32;
+            match step % 3 {
+                0 => {
+                    let expect = !model.contains_key(&k);
+                    assert_eq!(t.insert(k, step), expect, "insert {k} at {step}");
+                    model.entry(k).or_insert(step);
+                }
+                1 => {
+                    let expect = model.remove(&k);
+                    assert_eq!(t.remove(&k), expect, "remove {k} at {step}");
+                }
+                _ => {
+                    assert_eq!(t.get(&k), model.get(&k).copied(), "get {k} at {step}");
+                }
+            }
+        }
+        assert_eq!(t.check_invariants(), model.len());
+    }
+
+    #[test]
+    fn drop_reclaims_nontrivial_tree() {
+        // Mostly a miri/asan canary: build, mutate, drop.
+        let t: PnbBst<u64, Vec<u8>> = PnbBst::new();
+        for k in 0..200 {
+            t.insert(k, vec![k as u8; 3]);
+        }
+        for k in (0..200).step_by(2) {
+            t.delete(&k);
+        }
+        drop(t);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let t: PnbBst<i64, i64> = PnbBst::new();
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert!(t.insert(k, k));
+        }
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(t.get(&k), Some(k));
+        }
+        assert_eq!(t.check_invariants(), 5);
+        assert_eq!(t.remove(&i64::MAX), Some(i64::MAX));
+        assert_eq!(t.remove(&i64::MIN), Some(i64::MIN));
+        assert_eq!(t.check_invariants(), 3);
+    }
+}

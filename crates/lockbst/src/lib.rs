@@ -1,0 +1,240 @@
+//! # lock-bst — lock-based baselines and a sequential reference model
+//!
+//! Comparators for the PNB-BST evaluation (experiments E1–E5):
+//!
+//! * [`RwLockTree`] — a `parking_lot::RwLock<BTreeMap>`: the idiomatic
+//!   "just take a reader-writer lock" solution. Reads and range scans
+//!   share the lock; every update excludes everything. Range scans are
+//!   trivially linearizable but serialize against all writers.
+//! * [`MutexTree`] — a single `parking_lot::Mutex<BTreeMap>`: the
+//!   pessimistic floor every concurrent structure must beat.
+//! * [`seq::SeqBst`] — a *sequential* leaf-oriented BST with the same
+//!   shape (sentinels, full tree, leaf-oriented) as NB-BST/PNB-BST but no
+//!   synchronization at all: the single-threaded cost floor (E5) and the
+//!   oracle used by property tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod seq;
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Coarse reader-writer-locked ordered map (set semantics on insert, to
+/// match the trees under test).
+#[derive(Default)]
+pub struct RwLockTree<K, V> {
+    inner: RwLock<BTreeMap<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> RwLockTree<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        RwLockTree {
+            inner: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Insert without replace; `true` iff the key was absent.
+    pub fn insert(&self, k: K, v: V) -> bool {
+        let mut m = self.inner.write();
+        if let std::collections::btree_map::Entry::Vacant(e) = m.entry(k) {
+            e.insert(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove; `true` iff the key was present.
+    pub fn delete(&self, k: &K) -> bool {
+        self.inner.write().remove(k).is_some()
+    }
+
+    /// Remove returning the value.
+    pub fn remove(&self, k: &K) -> Option<V> {
+        self.inner.write().remove(k)
+    }
+
+    /// Lookup.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.inner.read().get(k).cloned()
+    }
+
+    /// Membership.
+    pub fn contains(&self, k: &K) -> bool {
+        self.inner.read().contains_key(k)
+    }
+
+    /// Inclusive range scan under the read lock.
+    pub fn range_scan(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        self.inner
+            .read()
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Count keys in `[lo, hi]` under the read lock.
+    pub fn scan_count(&self, lo: &K, hi: &K) -> usize {
+        self.inner
+            .read()
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .count()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Full dump, ascending.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+/// Coarse mutex-locked ordered map (set semantics on insert).
+#[derive(Default)]
+pub struct MutexTree<K, V> {
+    inner: Mutex<BTreeMap<K, V>>,
+}
+
+impl<K: Ord + Clone, V: Clone> MutexTree<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        MutexTree {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Insert without replace; `true` iff the key was absent.
+    pub fn insert(&self, k: K, v: V) -> bool {
+        let mut m = self.inner.lock();
+        if let std::collections::btree_map::Entry::Vacant(e) = m.entry(k) {
+            e.insert(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove; `true` iff the key was present.
+    pub fn delete(&self, k: &K) -> bool {
+        self.inner.lock().remove(k).is_some()
+    }
+
+    /// Remove returning the value.
+    pub fn remove(&self, k: &K) -> Option<V> {
+        self.inner.lock().remove(k)
+    }
+
+    /// Lookup.
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.inner.lock().get(k).cloned()
+    }
+
+    /// Membership.
+    pub fn contains(&self, k: &K) -> bool {
+        self.inner.lock().contains_key(k)
+    }
+
+    /// Inclusive range scan under the lock.
+    pub fn range_scan(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        self.inner
+            .lock()
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Count keys in `[lo, hi]` under the lock.
+    pub fn scan_count(&self, lo: &K, hi: &K) -> usize {
+        self.inner
+            .lock()
+            .range((Bound::Included(lo), Bound::Included(hi)))
+            .count()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Full dump, ascending.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_tree_semantics() {
+        let t: RwLockTree<i32, i32> = RwLockTree::new();
+        assert!(t.insert(1, 10));
+        assert!(!t.insert(1, 20));
+        assert_eq!(t.get(&1), Some(10));
+        assert!(t.contains(&1));
+        assert_eq!(t.range_scan(&0, &5), vec![(1, 10)]);
+        assert_eq!(t.scan_count(&0, &5), 1);
+        assert_eq!(t.remove(&1), Some(10));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn mutex_tree_semantics() {
+        let t: MutexTree<i32, i32> = MutexTree::new();
+        assert!(t.insert(1, 10));
+        assert!(!t.insert(1, 20));
+        assert_eq!(t.get(&1), Some(10));
+        assert!(t.delete(&1));
+        assert!(!t.delete(&1));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_vec(), vec![]);
+        assert!(t.range_scan(&0, &100).is_empty());
+        assert_eq!(t.scan_count(&0, &100), 0);
+    }
+
+    #[test]
+    fn concurrent_smoke() {
+        use std::sync::Arc;
+        let t = Arc::new(RwLockTree::<u64, u64>::new());
+        let hs: Vec<_> = (0..4u64)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        t.insert(w * 1000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+    }
+}

@@ -1,0 +1,362 @@
+//! A *sequential* leaf-oriented BST with the same shape as NB-BST /
+//! PNB-BST (full tree, `∞₁`/`∞₂` sentinels, elements only in leaves).
+//!
+//! Two jobs:
+//!
+//! 1. **Cost floor** for experiment E5: the concurrent trees pay CAS,
+//!    helping and allocation overheads on top of exactly this structure,
+//!    so `SeqBst` isolates the algorithmic baseline from the coordination
+//!    cost.
+//! 2. **Oracle** for property tests: same key placement rules as the
+//!    concurrent trees, so structural comparisons are meaningful.
+
+/// Sentinel-extended key (`Fin < Inf1 < Inf2`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum SKey<K> {
+    Fin(K),
+    Inf1,
+    Inf2,
+}
+
+impl<K: Ord> SKey<K> {
+    fn fin_lt(&self, k: &K) -> bool {
+        match self {
+            SKey::Fin(me) => k < me,
+            _ => true,
+        }
+    }
+    fn fin_eq(&self, k: &K) -> bool {
+        matches!(self, SKey::Fin(me) if me == k)
+    }
+}
+
+struct Node<K, V> {
+    key: SKey<K>,
+    value: Option<V>,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+}
+
+impl<K, V> Node<K, V> {
+    fn leaf(key: SKey<K>, value: Option<V>) -> Box<Self> {
+        Box::new(Node {
+            key,
+            value,
+            left: None,
+            right: None,
+        })
+    }
+    fn is_leaf(&self) -> bool {
+        self.left.is_none()
+    }
+}
+
+/// Sequential leaf-oriented full BST (set-semantics insert).
+pub struct SeqBst<K, V> {
+    root: Box<Node<K, V>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for SeqBst<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> SeqBst<K, V> {
+    /// Empty tree (root `∞₂` over sentinel leaves `∞₁`, `∞₂`).
+    pub fn new() -> Self {
+        let root = Box::new(Node {
+            key: SKey::Inf2,
+            value: None,
+            left: Some(Node::leaf(SKey::Inf1, None)),
+            right: Some(Node::leaf(SKey::Inf2, None)),
+        });
+        SeqBst { root, len: 0 }
+    }
+
+    /// Descend to the leaf covering `k`, returning a mutable reference to
+    /// the `Box` holding it (its parent link), plus the parent pointer
+    /// chain needed by delete.
+    fn leaf_slot(&mut self, k: &K) -> &mut Box<Node<K, V>> {
+        let mut cur: &mut Box<Node<K, V>> = &mut self.root;
+        loop {
+            if cur.is_leaf() {
+                // Can't return `cur` directly inside the loop due to NLL
+                // limitations; restructure via raw break.
+                break;
+            }
+            let go_left = cur.key.fin_lt(k);
+            cur = if go_left {
+                cur.left.as_mut().unwrap()
+            } else {
+                cur.right.as_mut().unwrap()
+            };
+        }
+        cur
+    }
+
+    /// Insert without replace; `true` iff `k` was absent.
+    pub fn insert(&mut self, k: K, v: V) -> bool {
+        let slot = self.leaf_slot(&k);
+        if slot.key.fin_eq(&k) {
+            return false;
+        }
+        // Replace the leaf with an internal node over {new leaf, old leaf}.
+        let old_leaf = std::mem::replace(slot, Node::leaf(SKey::Inf2, None));
+        let new_leaf = Node::leaf(SKey::Fin(k.clone()), Some(v));
+        let k_lt_old = old_leaf.key.fin_lt(&k);
+        let internal_key = std::cmp::max(SKey::Fin(k), old_leaf.key.clone());
+        let (l, r) = if k_lt_old {
+            (new_leaf, old_leaf)
+        } else {
+            (old_leaf, new_leaf)
+        };
+        **slot = Node {
+            key: internal_key,
+            value: None,
+            left: Some(l),
+            right: Some(r),
+        };
+        self.len += 1;
+        true
+    }
+
+    /// Remove `k`, returning its value.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        // Descend tracking the parent-of-leaf slot so we can splice.
+        if self.root.is_leaf() {
+            return None; // unreachable by construction (root is internal)
+        }
+        // The node to splice is the *parent* of the leaf; we need the
+        // grandparent's link to it.
+        let mut cur: *mut Box<Node<K, V>> = &mut self.root;
+        loop {
+            // SAFETY: raw pointer dance to emulate parent-pointer descent
+            // under the borrow checker; all pointers are into `self` and
+            // used exclusively.
+            let cur_ref = unsafe { &mut *cur };
+            let go_left = cur_ref.key.fin_lt(k);
+            let child = if go_left {
+                cur_ref.left.as_mut().unwrap()
+            } else {
+                cur_ref.right.as_mut().unwrap()
+            };
+            if child.is_leaf() {
+                if !child.key.fin_eq(k) {
+                    return None;
+                }
+                // Splice: replace `cur`'s slot content with the sibling.
+                let cur_owned = unsafe { &mut *cur };
+                let (mut leaf, sibling) = if go_left {
+                    (
+                        cur_owned.left.take().unwrap(),
+                        cur_owned.right.take().unwrap(),
+                    )
+                } else {
+                    (
+                        cur_owned.right.take().unwrap(),
+                        cur_owned.left.take().unwrap(),
+                    )
+                };
+                let value = leaf.value.take();
+                **cur_owned = *sibling;
+                self.len -= 1;
+                return value;
+            }
+            let grand = if child.key.fin_lt(k) {
+                child.left.as_mut().unwrap()
+            } else {
+                child.right.as_mut().unwrap()
+            };
+            if grand.is_leaf() {
+                // `child` is the parent of the target leaf: splice below.
+                if !grand.key.fin_eq(k) {
+                    return None;
+                }
+                let go_left_child = child.key.fin_lt(k);
+                let (mut leaf, sibling) = if go_left_child {
+                    (child.left.take().unwrap(), child.right.take().unwrap())
+                } else {
+                    (child.right.take().unwrap(), child.left.take().unwrap())
+                };
+                let value = leaf.value.take();
+                **child = *sibling;
+                self.len -= 1;
+                return value;
+            }
+            cur = if go_left {
+                cur_ref.left.as_mut().unwrap()
+            } else {
+                cur_ref.right.as_mut().unwrap()
+            };
+        }
+    }
+
+    /// Remove; `true` iff present.
+    pub fn delete(&mut self, k: &K) -> bool {
+        self.remove(k).is_some()
+    }
+
+    /// Lookup.
+    pub fn get(&self, k: &K) -> Option<V> {
+        let mut cur = &self.root;
+        while !cur.is_leaf() {
+            cur = if cur.key.fin_lt(k) {
+                cur.left.as_ref().unwrap()
+            } else {
+                cur.right.as_ref().unwrap()
+            };
+        }
+        if cur.key.fin_eq(k) {
+            cur.value.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Membership.
+    pub fn contains(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Inclusive range scan, ascending.
+    pub fn range_scan(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(n) = stack.pop() {
+            if n.is_leaf() {
+                if let SKey::Fin(k) = &n.key {
+                    if k >= lo && k <= hi {
+                        out.push((k.clone(), n.value.clone().unwrap()));
+                    }
+                }
+                continue;
+            }
+            // Prune exactly like the concurrent scans.
+            let skip_left = !n.key.fin_lt(lo);
+            let skip_right = n.key.fin_lt(hi);
+            if !skip_right {
+                stack.push(n.right.as_ref().unwrap());
+            }
+            if !skip_left {
+                stack.push(n.left.as_ref().unwrap());
+            }
+        }
+        out
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Full dump, ascending.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        let mut stack = vec![&self.root];
+        while let Some(n) = stack.pop() {
+            if n.is_leaf() {
+                if let SKey::Fin(k) = &n.key {
+                    out.push((k.clone(), n.value.clone().unwrap()));
+                }
+                continue;
+            }
+            stack.push(n.right.as_ref().unwrap());
+            stack.push(n.left.as_ref().unwrap());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basics() {
+        let mut t: SeqBst<i32, i32> = SeqBst::new();
+        assert!(t.is_empty());
+        assert!(t.insert(5, 50));
+        assert!(!t.insert(5, 51));
+        assert_eq!(t.get(&5), Some(50));
+        assert!(t.insert(2, 20));
+        assert!(t.insert(8, 80));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.to_vec(), vec![(2, 20), (5, 50), (8, 80)]);
+        assert_eq!(t.range_scan(&3, &8), vec![(5, 50), (8, 80)]);
+        assert_eq!(t.remove(&5), Some(50));
+        assert_eq!(t.remove(&5), None);
+        assert_eq!(t.to_vec(), vec![(2, 20), (8, 80)]);
+    }
+
+    #[test]
+    fn delete_all_orders() {
+        // Delete in insertion order, reverse order, and middle-out.
+        for order in 0..3 {
+            let mut t: SeqBst<u32, u32> = SeqBst::new();
+            let keys: Vec<u32> = (0..64).collect();
+            for &k in &keys {
+                assert!(t.insert(k, k));
+            }
+            let del: Vec<u32> = match order {
+                0 => keys.clone(),
+                1 => keys.iter().rev().copied().collect(),
+                _ => {
+                    let mut v = Vec::new();
+                    let (mut a, mut b) = (0i64, 63i64);
+                    while a <= b {
+                        v.push(a as u32);
+                        if a != b {
+                            v.push(b as u32);
+                        }
+                        a += 1;
+                        b -= 1;
+                    }
+                    v
+                }
+            };
+            for &k in &del {
+                assert_eq!(t.remove(&k), Some(k), "order {order} key {k}");
+            }
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn matches_btreemap() {
+        let mut t: SeqBst<i32, usize> = SeqBst::new();
+        let mut m: BTreeMap<i32, usize> = BTreeMap::new();
+        let mut x: u64 = 42;
+        for step in 0..6000usize {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 33) % 80) as i32;
+            match step % 4 {
+                0 | 3 => {
+                    assert_eq!(t.insert(k, step), !m.contains_key(&k));
+                    m.entry(k).or_insert(step);
+                }
+                1 => assert_eq!(t.remove(&k), m.remove(&k)),
+                _ => assert_eq!(t.get(&k), m.get(&k).copied()),
+            }
+            if step % 500 == 0 {
+                let lo = ((x >> 20) % 80) as i32;
+                let hi = lo + 20;
+                let expect: Vec<_> = m
+                    .range(lo..=hi)
+                    .map(|(k, v)| (*k, *v))
+                    .collect();
+                assert_eq!(t.range_scan(&lo, &hi), expect);
+            }
+        }
+        assert_eq!(t.len(), m.len());
+        let expect: Vec<_> = m.into_iter().collect();
+        assert_eq!(t.to_vec(), expect);
+    }
+}

@@ -1,0 +1,233 @@
+//! Node, key and operation-record types for the original NB-BST
+//! (Ellen, Fatourou, Ruppert, van Breugel — PODC 2010).
+//!
+//! Layout follows the original paper:
+//!
+//! * Leaf-oriented full BST with `∞₁`/`∞₂` sentinels.
+//! * Each *internal* node carries an `update` CAS word packing a state
+//!   (`Clean` / `IFlag` / `DFlag` / `Mark`) with a pointer to the
+//!   operation record (`IInfo` or `DInfo`). Leaves are immutable and
+//!   have no update word.
+//!
+//! The state lives in the two low tag bits of the record pointer (all
+//! records are ≥ 8-byte aligned). `Clean` keeps whatever stale pointer
+//! was there (initially null) — it is never dereferenced while `Clean`.
+
+use crossbeam_epoch::{Atomic, Guard, Shared};
+use std::sync::atomic::Ordering::SeqCst;
+
+/// Key extended with the two infinity sentinels (`Fin < Inf1 < Inf2`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum SKey<K> {
+    Fin(K),
+    Inf1,
+    Inf2,
+}
+
+impl<K: Ord> SKey<K> {
+    /// `k < self` for a finite query key (search descent test).
+    #[inline]
+    pub(crate) fn fin_lt(&self, k: &K) -> bool {
+        match self {
+            SKey::Fin(me) => k < me,
+            _ => true,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn fin_eq(&self, k: &K) -> bool {
+        matches!(self, SKey::Fin(me) if me == k)
+    }
+
+    #[inline]
+    pub(crate) fn is_finite(&self) -> bool {
+        matches!(self, SKey::Fin(_))
+    }
+}
+
+/// Update-word states (two low tag bits of the record pointer).
+pub(crate) mod state {
+    pub const CLEAN: usize = 0;
+    pub const IFLAG: usize = 1;
+    pub const DFLAG: usize = 2;
+    pub const MARK: usize = 3;
+}
+
+pub(crate) type NodePtr<K, V> = *const Node<K, V>;
+pub(crate) type InfoPtr<K, V> = *const OpInfo<K, V>;
+
+/// A decoded update word.
+pub(crate) struct UpdWord<K, V> {
+    pub state: usize,
+    pub info: InfoPtr<K, V>,
+}
+impl<K, V> Clone for UpdWord<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for UpdWord<K, V> {}
+impl<K, V> PartialEq for UpdWord<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state && std::ptr::eq(self.info, other.info)
+    }
+}
+
+impl<K, V> UpdWord<K, V> {
+    #[inline]
+    pub(crate) fn shared<'g>(self) -> Shared<'g, OpInfo<K, V>> {
+        Shared::from(self.info).with_tag(self.state)
+    }
+    #[inline]
+    pub(crate) fn from_shared(s: Shared<'_, OpInfo<K, V>>) -> Self {
+        UpdWord {
+            state: s.tag() & 0b11,
+            info: s.as_raw(),
+        }
+    }
+}
+
+/// Operation record for an insert attempt.
+pub(crate) struct IInfo<K, V> {
+    pub p: NodePtr<K, V>,
+    pub l: NodePtr<K, V>,
+    pub new_internal: NodePtr<K, V>,
+}
+
+/// Operation record for a delete attempt.
+pub(crate) struct DInfo<K, V> {
+    pub gp: NodePtr<K, V>,
+    pub p: NodePtr<K, V>,
+    pub l: NodePtr<K, V>,
+    /// The value `p.update` had when the delete validated it; expected
+    /// old value for the mark CAS.
+    pub pupdate: UpdWord<K, V>,
+}
+
+/// An insert or delete record, reference-counted for reclamation (same
+/// protocol as `pnb-bst`: field references + one creation reference,
+/// increment-before-CAS, idempotent retirement).
+pub(crate) struct OpInfo<K, V> {
+    pub op: OpRecord<K, V>,
+    pub refs: std::sync::atomic::AtomicIsize,
+    pub retired: std::sync::atomic::AtomicBool,
+}
+
+pub(crate) enum OpRecord<K, V> {
+    Insert(IInfo<K, V>),
+    Delete(DInfo<K, V>),
+}
+
+impl<K, V> OpInfo<K, V> {
+    pub(crate) fn new(op: OpRecord<K, V>) -> Self {
+        OpInfo {
+            op,
+            refs: std::sync::atomic::AtomicIsize::new(1),
+            retired: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn as_insert(&self) -> &IInfo<K, V> {
+        match &self.op {
+            OpRecord::Insert(i) => i,
+            OpRecord::Delete(_) => panic!("IFlag word pointing at a DInfo"),
+        }
+    }
+
+    pub(crate) fn as_delete(&self) -> &DInfo<K, V> {
+        match &self.op {
+            OpRecord::Delete(d) => d,
+            OpRecord::Insert(_) => panic!("DFlag/Mark word pointing at an IInfo"),
+        }
+    }
+}
+
+/// A tree node. Internal nodes have children and an update word; leaves
+/// are immutable.
+pub(crate) struct Node<K, V> {
+    pub key: SKey<K>,
+    pub value: Option<V>,
+    pub update: Atomic<OpInfo<K, V>>,
+    pub left: Atomic<Node<K, V>>,
+    pub right: Atomic<Node<K, V>>,
+    pub leaf: bool,
+}
+
+impl<K, V> Node<K, V> {
+    pub(crate) fn leaf(key: SKey<K>, value: Option<V>) -> Self {
+        Node {
+            key,
+            value,
+            update: Atomic::null(), // Clean + null record
+            left: Atomic::null(),
+            right: Atomic::null(),
+            leaf: true,
+        }
+    }
+
+    pub(crate) fn internal(key: SKey<K>, left: NodePtr<K, V>, right: NodePtr<K, V>) -> Self {
+        Node {
+            key,
+            value: None,
+            update: Atomic::null(),
+            left: Atomic::from(Shared::from(left)),
+            right: Atomic::from(Shared::from(right)),
+            leaf: false,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load_update(&self, guard: &Guard) -> UpdWord<K, V> {
+        UpdWord::from_shared(self.update.load(SeqCst, guard))
+    }
+
+    #[inline]
+    pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        if left {
+            self.left.load(SeqCst, guard)
+        } else {
+            self.right.load(SeqCst, guard)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skey_ordering_and_queries() {
+        assert!(SKey::Fin(i32::MAX) < SKey::Inf1);
+        assert!(SKey::Inf1::<i32> < SKey::Inf2);
+        assert!(SKey::Fin(10).fin_lt(&9));
+        assert!(!SKey::Fin(10).fin_lt(&10));
+        assert!(SKey::Inf1::<i32>.fin_lt(&i32::MAX));
+        assert!(SKey::Fin(3).fin_eq(&3));
+        assert!(!SKey::Inf1::<i32>.fin_eq(&3));
+        assert!(SKey::Fin(0).is_finite() && !SKey::Inf2::<i32>.is_finite());
+    }
+
+    #[test]
+    fn updword_roundtrip() {
+        let rec = OpInfo::<i32, i32>::new(OpRecord::Insert(IInfo {
+            p: std::ptr::null(),
+            l: std::ptr::null(),
+            new_internal: std::ptr::null(),
+        }));
+        let ptr: InfoPtr<i32, i32> = &rec;
+        for st in [state::CLEAN, state::IFLAG, state::DFLAG, state::MARK] {
+            let w = UpdWord { state: st, info: ptr };
+            let rt = UpdWord::from_shared(w.shared());
+            assert!(rt == w);
+        }
+    }
+
+    #[test]
+    fn clean_null_word_is_default() {
+        let n: Node<i32, i32> = Node::leaf(SKey::Fin(1), Some(2));
+        let g = crossbeam_epoch::pin();
+        let w = n.load_update(&g);
+        assert_eq!(w.state, state::CLEAN);
+        assert!(w.info.is_null());
+    }
+}

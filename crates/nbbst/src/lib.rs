@@ -1,0 +1,35 @@
+//! # nb-bst — the original non-blocking binary search tree
+//!
+//! Implementation of
+//!
+//! > Faith Ellen, Panagiota Fatourou, Eric Ruppert, Franck van Breugel.
+//! > *Non-blocking Binary Search Trees.* PODC 2010.
+//!
+//! This is the substrate that `pnb-bst` (Fatourou & Ruppert's persistent
+//! tree with wait-free range queries) builds on, and the natural baseline
+//! for measuring the *cost of persistence*: NB-BST has no `prev`
+//! pointers, no sequence numbers, no handshake with scanners — and
+//! consequently no linearizable range queries or snapshots at all.
+//!
+//! Provided operations: lock-free [`insert`](NbBst::insert),
+//! [`delete`](NbBst::delete) / [`remove`](NbBst::remove), and
+//! search-only [`get`](NbBst::get) / [`contains`](NbBst::contains) that
+//! never interfere with updates.
+//!
+//! ## Relation to the pnb-bst crate
+//!
+//! | aspect | NB-BST (this crate) | PNB-BST |
+//! |---|---|---|
+//! | update coordination | flag/mark + IInfo/DInfo records | freeze (flag/mark) + unified Info records |
+//! | delete | relinks the sibling | *copies* the sibling (avoids prev/child cycles) |
+//! | unflagging | explicit unflag CAS back to `Clean` | implicit: `Commit`/`Abort` state makes words unfrozen |
+//! | versioning | none | `prev` pointers + per-node sequence numbers |
+//! | range queries | none | wait-free `RangeScan` |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod base;
+mod tree;
+
+pub use tree::NbBst;

@@ -1,0 +1,601 @@
+//! The NB-BST algorithm (Ellen, Fatourou, Ruppert & van Breugel,
+//! PODC 2010): non-blocking `Insert` / `Delete` / `Find` on a
+//! leaf-oriented BST using single-word CAS, flagging and marking.
+//!
+//! This is the structure PNB-BST extends with persistence; it serves as
+//! the baseline for measuring the cost of that extension (experiment E5)
+//! and as the no-range-query comparator in E1/E2. It has **no** range
+//! queries or snapshots — that is the point.
+//!
+//! Reclamation uses the same epoch + reference-count protocol as
+//! `pnb-bst` (see that crate's DESIGN notes): nodes are retired by the
+//! winner of the child CAS, operation records are reference-counted by
+//! the update words that point at them.
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::base::{state, DInfo, IInfo, InfoPtr, Node, NodePtr, OpInfo, OpRecord, SKey, UpdWord};
+
+/// The original non-blocking binary search tree (map flavour; `insert`
+/// keeps set semantics — no replace).
+///
+/// # Example
+///
+/// ```
+/// use nb_bst::NbBst;
+///
+/// let t: NbBst<u32, &str> = NbBst::new();
+/// assert!(t.insert(1, "one"));
+/// assert!(!t.insert(1, "dup"));
+/// assert_eq!(t.get(&1), Some("one"));
+/// assert!(t.delete(&1));
+/// assert_eq!(t.get(&1), None);
+/// ```
+pub struct NbBst<K, V> {
+    root: NodePtr<K, V>,
+}
+
+// SAFETY: all shared mutation is CAS on atomics; K/V cross threads in
+// reads and deferred destruction.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for NbBst<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for NbBst<K, V> {}
+
+impl<K, V> Default for NbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct SearchResult<'g, K, V> {
+    gp: Shared<'g, Node<K, V>>,
+    p: Shared<'g, Node<K, V>>,
+    l: Shared<'g, Node<K, V>>,
+    pupdate: UpdWord<K, V>,
+    gpupdate: UpdWord<K, V>, // meaningful only when gp is non-null
+}
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Empty tree: root `∞₂` over sentinel leaves `∞₁`, `∞₂`.
+    pub fn new() -> Self {
+        let l: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(SKey::Inf1, None)));
+        let r: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(SKey::Inf2, None)));
+        let root: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(SKey::Inf2, l, r)));
+        NbBst { root }
+    }
+
+    fn search<'g>(&self, k: &K, guard: &'g Guard) -> SearchResult<'g, K, V> {
+        let null_word = UpdWord {
+            state: state::CLEAN,
+            info: std::ptr::null(),
+        };
+        let mut gp: Shared<'g, Node<K, V>> = Shared::null();
+        let mut p: Shared<'g, Node<K, V>> = Shared::null();
+        let mut gpupdate = null_word;
+        let mut pupdate = null_word;
+        let mut l: Shared<'g, Node<K, V>> = Shared::from(self.root);
+        loop {
+            // SAFETY: l is the root or a child read under the guard.
+            let l_ref = unsafe { l.deref() };
+            if l_ref.leaf {
+                break;
+            }
+            gp = p;
+            p = l;
+            gpupdate = pupdate;
+            pupdate = l_ref.load_update(guard);
+            l = l_ref.load_child(l_ref.key.fin_lt(k), guard);
+        }
+        SearchResult {
+            gp,
+            p,
+            l,
+            pupdate,
+            gpupdate,
+        }
+    }
+
+    /// Lookup (the original wait-free-per-traversal `Find`).
+    pub fn get(&self, k: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        let s = self.search(k, guard);
+        let l = unsafe { s.l.deref() };
+        if l.key.fin_eq(k) {
+            l.value.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, k: &K) -> bool {
+        let guard = &epoch::pin();
+        let s = self.search(k, guard);
+        unsafe { s.l.deref() }.key.fin_eq(k)
+    }
+
+    /// Insert; `false` if the key is present (no replace).
+    pub fn insert(&self, k: K, v: V) -> bool {
+        let guard = &epoch::pin();
+        loop {
+            let s = self.search(&k, guard);
+            let l_ref = unsafe { s.l.deref() };
+            if l_ref.key.fin_eq(&k) {
+                return false;
+            }
+            if s.pupdate.state != state::CLEAN {
+                self.help(s.pupdate, guard);
+                continue;
+            }
+            // Build the replacement subtree: new leaf + copy of l under a
+            // fresh internal node keyed by the larger key.
+            let new_leaf: NodePtr<K, V> =
+                Box::into_raw(Box::new(Node::leaf(SKey::Fin(k.clone()), Some(v.clone()))));
+            let new_sibling: NodePtr<K, V> =
+                Box::into_raw(Box::new(Node::leaf(l_ref.key.clone(), l_ref.value.clone())));
+            let k_lt_l = l_ref.key.fin_lt(&k);
+            let (lc, rc) = if k_lt_l {
+                (new_leaf, new_sibling)
+            } else {
+                (new_sibling, new_leaf)
+            };
+            let ikey = std::cmp::max(SKey::Fin(k.clone()), l_ref.key.clone());
+            let new_internal: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(ikey, lc, rc)));
+            let op: InfoPtr<K, V> = Box::into_raw(Box::new(OpInfo::new(OpRecord::Insert(IInfo {
+                p: s.p.as_raw(),
+                l: s.l.as_raw(),
+                new_internal,
+            }))));
+            // iflag CAS (increment-before-CAS refcount discipline).
+            unsafe { (*op).refs.fetch_add(1, SeqCst) };
+            let p_ref = unsafe { s.p.deref() };
+            let new_word = Shared::from(op).with_tag(state::IFLAG);
+            match p_ref
+                .update
+                .compare_exchange(s.pupdate.shared(), new_word, SeqCst, SeqCst, guard)
+            {
+                Ok(_) => {
+                    self.dec_ref(s.pupdate.info, guard);
+                    self.help_insert(op, guard);
+                    self.dec_ref(op, guard); // creation reference
+                    return true;
+                }
+                Err(e) => {
+                    // Never published: free the record and the subtree.
+                    // SAFETY: sole owner of all four allocations.
+                    unsafe {
+                        drop(Box::from_raw(op as *mut OpInfo<K, V>));
+                        drop(Box::from_raw(new_leaf as *mut Node<K, V>));
+                        drop(Box::from_raw(new_sibling as *mut Node<K, V>));
+                        drop(Box::from_raw(new_internal as *mut Node<K, V>));
+                    }
+                    self.help(UpdWord::from_shared(e.current), guard);
+                }
+            }
+        }
+    }
+
+    /// Delete; `true` if the key was present.
+    pub fn delete(&self, k: &K) -> bool {
+        self.remove(k).is_some()
+    }
+
+    /// Delete returning the removed value.
+    pub fn remove(&self, k: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        loop {
+            let s = self.search(k, guard);
+            let l_ref = unsafe { s.l.deref() };
+            if !l_ref.key.fin_eq(k) {
+                return None;
+            }
+            // Finite leaf key ⇒ at least two descents ⇒ gp is non-null.
+            debug_assert!(!s.gp.is_null());
+            if s.gpupdate.state != state::CLEAN {
+                self.help(s.gpupdate, guard);
+                continue;
+            }
+            if s.pupdate.state != state::CLEAN {
+                self.help(s.pupdate, guard);
+                continue;
+            }
+            let removed = l_ref.value.clone();
+            let op: InfoPtr<K, V> = Box::into_raw(Box::new(OpInfo::new(OpRecord::Delete(DInfo {
+                gp: s.gp.as_raw(),
+                p: s.p.as_raw(),
+                l: s.l.as_raw(),
+                pupdate: s.pupdate,
+            }))));
+            // dflag CAS.
+            unsafe { (*op).refs.fetch_add(1, SeqCst) };
+            let gp_ref = unsafe { s.gp.deref() };
+            let new_word = Shared::from(op).with_tag(state::DFLAG);
+            match gp_ref
+                .update
+                .compare_exchange(s.gpupdate.shared(), new_word, SeqCst, SeqCst, guard)
+            {
+                Ok(_) => {
+                    self.dec_ref(s.gpupdate.info, guard);
+                    let done = self.help_delete(op, guard);
+                    self.dec_ref(op, guard); // creation reference
+                    if done {
+                        return removed;
+                    }
+                }
+                Err(e) => {
+                    // SAFETY: never published.
+                    unsafe { drop(Box::from_raw(op as *mut OpInfo<K, V>)) };
+                    self.help(UpdWord::from_shared(e.current), guard);
+                }
+            }
+        }
+    }
+
+    /// Dispatch helping according to the update word's state.
+    fn help(&self, u: UpdWord<K, V>, guard: &Guard) {
+        if u.info.is_null() {
+            return; // Clean-null: nothing to help
+        }
+        match u.state {
+            state::IFLAG => self.help_insert(u.info, guard),
+            state::MARK => self.help_marked(u.info, guard),
+            state::DFLAG => {
+                let _ = self.help_delete(u.info, guard);
+            }
+            _ => {} // Clean: nothing pending
+        }
+    }
+
+    fn help_insert(&self, op: InfoPtr<K, V>, guard: &Guard) {
+        // SAFETY: op was read from a published update word while pinned.
+        let i = unsafe { (*op).as_insert() };
+        // ichild CAS: swing p's child from l to the new subtree.
+        if self.cas_child(i.p, i.l, i.new_internal, guard) {
+            // Winner retires the replaced leaf (leaves hold no record ref).
+            unsafe { guard.defer_destroy(Shared::from(i.l)) };
+        }
+        // iunflag CAS: IFlag → Clean, same record pointer (no ref change).
+        let p = unsafe { &*i.p };
+        let _ = p.update.compare_exchange(
+            Shared::from(op).with_tag(state::IFLAG),
+            Shared::from(op).with_tag(state::CLEAN),
+            SeqCst,
+            SeqCst,
+            guard,
+        );
+    }
+
+    fn help_delete(&self, op: InfoPtr<K, V>, guard: &Guard) -> bool {
+        // SAFETY: as in help_insert.
+        let d = unsafe { (*op).as_delete() };
+        let p = unsafe { &*d.p };
+        // mark CAS on p.
+        unsafe { (*op).refs.fetch_add(1, SeqCst) };
+        match p.update.compare_exchange(
+            d.pupdate.shared(),
+            Shared::from(op).with_tag(state::MARK),
+            SeqCst,
+            SeqCst,
+            guard,
+        ) {
+            Ok(_) => {
+                self.dec_ref(d.pupdate.info, guard);
+                self.help_marked(op, guard);
+                true
+            }
+            Err(e) => {
+                self.dec_ref(op, guard); // undo the speculative increment
+                let cur = UpdWord::from_shared(e.current);
+                if cur.state == state::MARK && std::ptr::eq(cur.info, op) {
+                    // Another helper marked p for this very operation.
+                    self.help_marked(op, guard);
+                    true
+                } else {
+                    // Someone else got in the way: help them, then
+                    // backtrack-unflag gp so progress can resume.
+                    self.help(cur, guard);
+                    let gp = unsafe { &*d.gp };
+                    let _ = gp.update.compare_exchange(
+                        Shared::from(op).with_tag(state::DFLAG),
+                        Shared::from(op).with_tag(state::CLEAN),
+                        SeqCst,
+                        SeqCst,
+                        guard,
+                    );
+                    false
+                }
+            }
+        }
+    }
+
+    fn help_marked(&self, op: InfoPtr<K, V>, guard: &Guard) {
+        // SAFETY: as above.
+        let d = unsafe { (*op).as_delete() };
+        let p = unsafe { &*d.p };
+        // The sibling of l: p is marked, so its children are final.
+        let right = p.load_child(false, guard);
+        let other = if right.as_raw() == d.l {
+            p.load_child(true, guard)
+        } else {
+            right
+        };
+        // dchild CAS: swing gp's child from p to the sibling.
+        if self.cas_child(d.gp, d.p, other.as_raw(), guard) {
+            // Winner retires the unlinked internal node and leaf.
+            self.retire_node(d.p, guard);
+            unsafe { guard.defer_destroy(Shared::from(d.l)) };
+        }
+        // dunflag CAS on gp (same record pointer, no ref change).
+        let gp = unsafe { &*d.gp };
+        let _ = gp.update.compare_exchange(
+            Shared::from(op).with_tag(state::DFLAG),
+            Shared::from(op).with_tag(state::CLEAN),
+            SeqCst,
+            SeqCst,
+            guard,
+        );
+    }
+
+    fn cas_child(&self, parent: NodePtr<K, V>, old: NodePtr<K, V>, new: NodePtr<K, V>, guard: &Guard) -> bool {
+        // SAFETY: parent/new are protected by the published record.
+        let parent = unsafe { &*parent };
+        let new_ref = unsafe { &*new };
+        let field = if new_ref.key < parent.key {
+            &parent.left
+        } else {
+            &parent.right
+        };
+        field
+            .compare_exchange(Shared::from(old), Shared::from(new), SeqCst, SeqCst, guard)
+            .is_ok()
+    }
+
+    /// Retire an unlinked internal node: release the record reference its
+    /// final (marked) update word holds, then defer destruction.
+    fn retire_node(&self, node: NodePtr<K, V>, guard: &Guard) {
+        let n = unsafe { &*node };
+        let w = n.load_update(guard);
+        self.dec_ref(w.info, guard);
+        unsafe { guard.defer_destroy(Shared::from(node)) };
+    }
+
+    fn dec_ref(&self, info: InfoPtr<K, V>, guard: &Guard) {
+        if info.is_null() {
+            return;
+        }
+        let i = unsafe { &*info };
+        if i.refs.fetch_sub(1, SeqCst) == 1 && !i.retired.swap(true, SeqCst) {
+            unsafe { guard.defer_destroy(Shared::from(info)) };
+        }
+    }
+
+    /// In-order key/value dump. **Not linearizable** (NB-BST has no
+    /// snapshot mechanism — that is exactly what PNB-BST adds); intended
+    /// for quiescent verification and tooling.
+    pub fn to_vec_quiescent(&self) -> Vec<(K, V)> {
+        let guard = &epoch::pin();
+        let mut out = Vec::new();
+        let mut stack = vec![Shared::from(self.root)];
+        while let Some(n) = stack.pop() {
+            let node = unsafe { n.deref() };
+            if node.leaf {
+                if let SKey::Fin(k) = &node.key {
+                    out.push((k.clone(), node.value.clone().expect("finite leaf value")));
+                }
+            } else {
+                stack.push(node.load_child(true, guard));
+                stack.push(node.load_child(false, guard));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of keys (quiescent traversal; not linearizable).
+    pub fn len_quiescent(&self) -> usize {
+        self.to_vec_quiescent().len()
+    }
+
+    /// Structural checker (quiescent): full leaf-oriented BST. Returns
+    /// the number of finite keys.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        let guard = &epoch::pin();
+        let mut count = 0usize;
+        type Frame<'g, K, V> = (Shared<'g, Node<K, V>>, Option<SKey<K>>, Option<SKey<K>>);
+        let mut stack: Vec<Frame<'_, K, V>> = vec![(Shared::from(self.root), None, None)];
+        while let Some((n, lo, hi)) = stack.pop() {
+            assert!(!n.is_null(), "null child");
+            let node = unsafe { n.deref() };
+            if let Some(lo) = &lo {
+                assert!(node.key >= *lo, "BST violation");
+            }
+            if let Some(hi) = &hi {
+                assert!(node.key < *hi, "BST violation");
+            }
+            if node.leaf {
+                if node.key.is_finite() {
+                    count += 1;
+                }
+            } else {
+                let l = node.load_child(true, guard);
+                let r = node.load_child(false, guard);
+                assert!(!l.is_null() && !r.is_null(), "internal not full");
+                stack.push((l, lo.clone(), Some(node.key.clone())));
+                stack.push((r, Some(node.key.clone()), hi));
+            }
+        }
+        count
+    }
+}
+
+impl<K, V> Drop for NbBst<K, V> {
+    fn drop(&mut self) {
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut stack: Vec<NodePtr<K, V>> = vec![self.root];
+            while let Some(ptr) = stack.pop() {
+                let node = &*ptr;
+                let info = node.update.load(SeqCst, guard).as_raw();
+                if !info.is_null() {
+                    let i = &*info;
+                    if i.refs.fetch_sub(1, SeqCst) == 1 {
+                        drop(Box::from_raw(info as *mut OpInfo<K, V>));
+                    }
+                }
+                if !node.leaf {
+                    stack.push(node.left.load(SeqCst, guard).as_raw());
+                    stack.push(node.right.load(SeqCst, guard).as_raw());
+                }
+                drop(Box::from_raw(ptr as *mut Node<K, V>));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics() {
+        let t: NbBst<i64, i64> = NbBst::new();
+        assert!(!t.contains(&5));
+        assert!(t.insert(5, 50));
+        assert!(!t.insert(5, 51));
+        assert_eq!(t.get(&5), Some(50));
+        assert!(t.insert(3, 30));
+        assert!(t.insert(8, 80));
+        assert_eq!(t.check_invariants(), 3);
+        assert_eq!(t.remove(&5), Some(50));
+        assert_eq!(t.remove(&5), None);
+        assert_eq!(t.check_invariants(), 2);
+        assert_eq!(t.to_vec_quiescent(), vec![(3, 30), (8, 80)]);
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_sequence() {
+        let t: NbBst<i32, i32> = NbBst::new();
+        let mut model = BTreeMap::new();
+        let mut x: u64 = 0xDEADBEEFCAFE;
+        for step in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((x >> 33) % 48) as i32;
+            match step % 3 {
+                0 => {
+                    assert_eq!(t.insert(k, step), !model.contains_key(&k));
+                    model.entry(k).or_insert(step);
+                }
+                1 => assert_eq!(t.remove(&k), model.remove(&k)),
+                _ => assert_eq!(t.get(&k), model.get(&k).copied()),
+            }
+        }
+        assert_eq!(t.check_invariants(), model.len());
+        let dumped: Vec<_> = t.to_vec_quiescent();
+        let expect: Vec<_> = model.into_iter().collect();
+        assert_eq!(dumped, expect);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stripes() {
+        let t = Arc::new(NbBst::<u64, u64>::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let base = w * 1_000_000;
+                    for i in 0..1500 {
+                        assert!(t.insert(base + i, i));
+                    }
+                    for i in (0..1500).step_by(3) {
+                        assert_eq!(t.remove(&(base + i)), Some(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.check_invariants(), 4 * 1000);
+    }
+
+    #[test]
+    fn concurrent_single_key_contention() {
+        let t = Arc::new(NbBst::<u64, usize>::new());
+        for round in 0..150u64 {
+            let wins: usize = (0..4)
+                .map(|i| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || t.insert(round, i) as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum();
+            assert_eq!(wins, 1);
+            let dels: usize = (0..4)
+                .map(|_| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || t.delete(&round) as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum();
+            assert_eq!(dels, 1);
+        }
+        assert_eq!(t.check_invariants(), 0);
+    }
+
+    #[test]
+    fn readers_never_block_under_churn() {
+        let t = Arc::new(NbBst::<u64, u64>::new());
+        for k in 0..2048 {
+            t.insert(k * 2, k);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let w = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let k = ((x >> 33) % 4096) | 1; // odd keys only
+                    t.insert(k, k);
+                    t.delete(&k);
+                }
+            })
+        };
+        for _ in 0..20_000 {
+            let k = 2 * (fastrand_like(&t) % 2048);
+            assert!(t.contains(&k), "even keys are permanent");
+        }
+        stop.store(true, Ordering::Relaxed);
+        w.join().unwrap();
+
+        fn fastrand_like<T>(_: &T) -> u64 {
+            use std::cell::Cell;
+            thread_local! { static S: Cell<u64> = const { Cell::new(0x12345678) }; }
+            S.with(|s| {
+                let mut x = s.get();
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                s.set(x);
+                x
+            })
+        }
+    }
+}

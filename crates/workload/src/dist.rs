@@ -1,0 +1,194 @@
+//! Key distributions: uniform and Zipfian.
+//!
+//! The Zipfian generator uses the rejection-inversion method of
+//! Hörmann & Derflinger ("Rejection-inversion to generate variates from
+//! monotone discrete distributions", 1996) — the same algorithm used by
+//! YCSB and `rand_distr` — so it supports large key spaces (10⁶+) without
+//! precomputing a CDF table.
+
+use rand::Rng;
+
+/// A key distribution over `[0, n)`.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipfian over the key space (popular keys get most traffic).
+    Zipfian(Zipf),
+}
+
+impl KeyDist {
+    /// Uniform distribution over `[0, n)`.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0);
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian distribution over `[0, n)` with exponent `theta`
+    /// (typically 0.99, YCSB's default).
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::Zipfian(Zipf::new(n, theta))
+    }
+
+    /// Key-space size.
+    pub fn key_space(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => *n,
+            KeyDist::Zipfian(z) => z.n,
+        }
+    }
+
+    /// Draw a key.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(0..*n),
+            KeyDist::Zipfian(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Zipfian sampler (rejection-inversion, Hörmann & Derflinger 1996).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Number of elements.
+    pub n: u64,
+    /// Exponent (s > 0, s != 1 handled; s == 1 uses the harmonic case).
+    s: f64,
+    // Precomputed constants.
+    h_x1: f64,
+    h_half: f64,
+    dd: f64,
+}
+
+impl Zipf {
+    /// Create a sampler over `[0, n)` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(s > 0.0, "exponent must be positive");
+        let nf = n as f64;
+        let h_x1 = Self::h(1.5, s) - 1.0;
+        let h_half = Self::h(0.5, s);
+        let dd = Self::h(nf + 0.5, s) - h_half;
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_half,
+            dd,
+        }
+    }
+
+    /// H(x) = integral of x^-s  (antiderivative, branch for s == 1).
+    #[inline]
+    fn h(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            x.powf(1.0 - s) / (1.0 - s)
+        }
+    }
+
+    /// Inverse of H.
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            ((1.0 - self.s) * x).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draw a rank in `[0, n)` (0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_half + rng.gen::<f64>() * self.dd;
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().max(1.0);
+            let k = (k as u64).min(self.n);
+            // Acceptance test.
+            if u >= Self::h(k as f64 + 0.5, self.s) - (k as f64).powf(-self.s)
+                || k == 1 && u >= self.h_x1
+            {
+                return k - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_space() {
+        let d = KeyDist::uniform(100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            let k = d.sample(&mut rng);
+            assert!(k < 100);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 95);
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let d = KeyDist::zipfian(1_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let samples = 50_000;
+        for _ in 0..samples {
+            let k = d.sample(&mut rng);
+            assert!(k < 1_000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 keys should draw a large
+        // share of traffic (~45% theoretically); be generous.
+        assert!(
+            head as f64 > samples as f64 * 0.25,
+            "zipf not skewed enough: head={head}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_one_harmonic_branch() {
+        let d = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            assert!(d.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_small_spaces() {
+        for n in [1u64, 2, 3] {
+            let d = Zipf::new(n, 0.8);
+            let mut rng = SmallRng::seed_from_u64(9);
+            for _ in 0..1_000 {
+                assert!(d.sample(&mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_rank_frequencies_decrease() {
+        let d = Zipf::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 50];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        // Monotone on a coarse scale: rank 0 >> rank 10 >> rank 40.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-operation latency measurement (tail-latency lens).
+//!
+//! Throughput hides exactly the effect wait-freedom exists to produce:
+//! *bounded individual operation time*. A lock-based map can post great
+//! averages while a scan stalls every writer behind it (and vice versa);
+//! a wait-free scan's p99 stays flat no matter what updaters do. This
+//! module provides a cheap log-bucketed histogram and a driver that
+//! records per-operation-type latency percentiles under a mixed load —
+//! the E8 extension experiment.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::dist::KeyDist;
+use crate::mix::{Mix, Op};
+use crate::runner::prefill;
+use crate::ConcurrentMap;
+
+/// Number of log₂ buckets: covers 1 ns … ~18 s.
+const BUCKETS: usize = 64;
+
+/// A fixed-size logarithmic histogram of nanosecond latencies.
+///
+/// Recording is a single increment into a power-of-two bucket; merging
+/// and percentile extraction happen offline. Resolution is one octave,
+/// which is plenty for p50/p99/p999 comparisons across structures.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Record one latency.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Approximate percentile in nanoseconds (upper bucket bound), or
+    /// `None` if empty. `q` in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) - 1 ns.
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Convenience: (p50, p99, p999) in nanoseconds.
+    pub fn summary(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(0.50).unwrap_or(0),
+            self.percentile(0.99).unwrap_or(0),
+            self.percentile(0.999).unwrap_or(0),
+        )
+    }
+}
+
+/// Latency percentiles for each operation class.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyReport {
+    /// Structure name.
+    pub name: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Samples per class: (class, count, p50 ns, p99 ns, p999 ns).
+    pub classes: Vec<(String, u64, u64, u64, u64)>,
+}
+
+/// Run a mixed workload for `duration` on `threads` workers, recording
+/// per-class operation latencies. The map is prefilled to 50%.
+pub fn run_latency<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    threads: usize,
+    duration: Duration,
+    key_dist: &KeyDist,
+    mix: Mix,
+    seed: u64,
+) -> LatencyReport {
+    prefill(map, key_dist.key_space(), 0.5, seed);
+    let stop = AtomicBool::new(false);
+    let start_line = std::sync::Barrier::new(threads + 1);
+
+    // One histogram per class: ins/del/find/scan.
+    let per_thread: Vec<[LatencyHistogram; 4]> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let stop = &stop;
+                let start_line = &start_line;
+                let dist = key_dist.clone();
+                let seed = seed + 17 * (tid as u64 + 1);
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut hists: [LatencyHistogram; 4] = Default::default();
+                    start_line.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..32 {
+                            let k = dist.sample(&mut rng);
+                            let op = mix.sample(&mut rng);
+                            let t0 = Instant::now();
+                            let class = match op {
+                                Op::Insert => {
+                                    std::hint::black_box(map.insert(k, k));
+                                    0
+                                }
+                                Op::Delete => {
+                                    std::hint::black_box(map.delete(&k));
+                                    1
+                                }
+                                Op::Find => {
+                                    std::hint::black_box(map.get(&k));
+                                    2
+                                }
+                                Op::RangeScan => {
+                                    let hi =
+                                        k.saturating_add(mix.range_width.saturating_sub(1));
+                                    std::hint::black_box(map.range_scan(&k, &hi));
+                                    3
+                                }
+                            };
+                            hists[class].record(t0.elapsed());
+                        }
+                    }
+                    hists
+                })
+            })
+            .collect();
+        start_line.wait();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut merged: [LatencyHistogram; 4] = Default::default();
+    for hs in &per_thread {
+        for (m, h) in merged.iter_mut().zip(hs.iter()) {
+            m.merge(h);
+        }
+    }
+    let labels = ["insert", "delete", "find", "range_scan"];
+    let classes = merged
+        .iter()
+        .zip(labels)
+        .filter(|(h, _)| !h.is_empty())
+        .map(|(h, label)| {
+            let (p50, p99, p999) = h.summary();
+            (label.to_string(), h.len(), p50, p99, p999)
+        })
+        .collect();
+    LatencyReport {
+        name: map.name().to_string(),
+        threads,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+        // 90 fast ops (~100ns) and 10 slow ones (~1ms).
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.len(), 100);
+        let p50 = h.percentile(0.50).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 < 1_000, "p50 should land in the fast bucket: {p50}");
+        assert!(p99 >= 1_000_000 / 2, "p99 should land in the slow bucket: {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(10));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn extreme_durations_clamp_into_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(0)); // clamped to 1ns
+        h.record(Duration::from_secs(40_000)); // beyond top bucket
+        assert_eq!(h.len(), 2);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn latency_driver_produces_all_classes() {
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+        struct M(Mutex<BTreeMap<u64, u64>>);
+        impl ConcurrentMap for M {
+            fn insert(&self, k: u64, v: u64) -> bool {
+                self.0.lock().unwrap().insert(k, v).is_none()
+            }
+            fn delete(&self, k: &u64) -> bool {
+                self.0.lock().unwrap().remove(k).is_some()
+            }
+            fn get(&self, k: &u64) -> Option<u64> {
+                self.0.lock().unwrap().get(k).copied()
+            }
+            fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+                self.0.lock().unwrap().range(*lo..=*hi).count()
+            }
+            fn name(&self) -> &'static str {
+                "test-map"
+            }
+        }
+        let m = M(Mutex::new(BTreeMap::new()));
+        let rep = run_latency(
+            &m,
+            2,
+            Duration::from_millis(60),
+            &KeyDist::uniform(512),
+            Mix::with_ranges(16),
+            9,
+        );
+        assert_eq!(rep.threads, 2);
+        assert_eq!(rep.classes.len(), 4, "all four op classes sampled");
+        for (label, count, p50, p99, p999) in &rep.classes {
+            assert!(*count > 0, "{label} unsampled");
+            assert!(p50 <= p99 && p99 <= p999, "{label} percentiles ordered");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # workload — setbench-style workload generation and measurement
+//!
+//! The evaluation substrate for the PNB-BST reproduction: the authors
+//! evaluated with a setbench-style driver (prefilled key space, per-thread
+//! operation mixes, timed throughput measurement); this crate rebuilds
+//! that driver in Rust.
+//!
+//! Pieces:
+//!
+//! * [`ConcurrentMap`] — the uniform interface the harness drives
+//!   (implemented by adapters in the bench crate for every structure
+//!   under test).
+//! * [`Mix`] — an operation mix (insert/delete/find/range-query
+//!   percentages and range width).
+//! * [`KeyDist`] — uniform or Zipfian key selection over a key space.
+//! * [`run_throughput`] — the timed multi-threaded driver; returns
+//!   per-operation counts and aggregate throughput.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod latency;
+pub mod mix;
+pub mod runner;
+
+pub use dist::{KeyDist, Zipf};
+pub use latency::{run_latency, LatencyHistogram, LatencyReport};
+pub use mix::{Mix, Op};
+pub use runner::{
+    prefill, run_fixed_ops, run_scan_updater, run_throughput, Measurement, RunConfig,
+    ScanUpdaterConfig, ScanUpdaterMeasurement,
+};
+
+/// The uniform map interface driven by the harness.
+///
+/// All structures under test expose set-semantics `insert` (no replace),
+/// `delete`, `get`, and a closed-interval `range_scan`. Structures
+/// without linearizable range queries (NB-BST) report
+/// [`supports_range_scan`](ConcurrentMap::supports_range_scan) = `false`
+/// and are excluded from range-query mixes by the harness.
+pub trait ConcurrentMap: Send + Sync {
+    /// Insert `k → v`; `true` iff `k` was absent.
+    fn insert(&self, k: u64, v: u64) -> bool;
+    /// Remove `k`; `true` iff it was present.
+    fn delete(&self, k: &u64) -> bool;
+    /// Lookup.
+    fn get(&self, k: &u64) -> Option<u64>;
+    /// Closed-interval range query; returns the number of matches
+    /// (the harness measures traversal + materialization cost without
+    /// retaining results).
+    fn range_scan(&self, lo: &u64, hi: &u64) -> usize;
+    /// Whether `range_scan` is supported and linearizable.
+    fn supports_range_scan(&self) -> bool {
+        true
+    }
+    /// Structure name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,147 @@
+//! Operation mixes: the workload axes of the paper's evaluation
+//! (update-heavy, search-dominated, range-query blends).
+
+use rand::Rng;
+
+/// One operation drawn from a [`Mix`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Insert a key.
+    Insert,
+    /// Delete a key.
+    Delete,
+    /// Point lookup.
+    Find,
+    /// Range query of the mix's width.
+    RangeScan,
+}
+
+/// An operation mix in percent, plus the range-query width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent inserts.
+    pub insert: u32,
+    /// Percent deletes.
+    pub delete: u32,
+    /// Percent point lookups.
+    pub find: u32,
+    /// Percent range queries.
+    pub range: u32,
+    /// Width of each range query (number of keys spanned).
+    pub range_width: u64,
+}
+
+impl Mix {
+    /// Build a mix; the four percentages must sum to 100.
+    pub fn new(insert: u32, delete: u32, find: u32, range: u32, range_width: u64) -> Self {
+        assert_eq!(
+            insert + delete + find + range,
+            100,
+            "mix percentages must sum to 100"
+        );
+        Mix {
+            insert,
+            delete,
+            find,
+            range,
+            range_width,
+        }
+    }
+
+    /// E1: update-only, 50% insert / 50% delete.
+    pub fn update_only() -> Self {
+        Mix::new(50, 50, 0, 0, 0)
+    }
+
+    /// E2: search-dominated, 10/10/80.
+    pub fn read_mostly() -> Self {
+        Mix::new(10, 10, 80, 0, 0)
+    }
+
+    /// E3: mixed with range queries, 25/25/40/10.
+    pub fn with_ranges(range_width: u64) -> Self {
+        Mix::new(25, 25, 40, 10, range_width)
+    }
+
+    /// Balanced updates with heavy scanning (E4 sweeps `range_width`).
+    pub fn scan_heavy(range_width: u64) -> Self {
+        Mix::new(10, 10, 30, 50, range_width)
+    }
+
+    /// Whether this mix issues range queries.
+    pub fn uses_ranges(&self) -> bool {
+        self.range > 0
+    }
+
+    /// Draw the next operation.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Op {
+        let x = rng.gen_range(0..100u32);
+        if x < self.insert {
+            Op::Insert
+        } else if x < self.insert + self.delete {
+            Op::Delete
+        } else if x < self.insert + self.delete + self.find {
+            Op::Find
+        } else {
+            Op::RangeScan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_sum_to_100() {
+        for m in [
+            Mix::update_only(),
+            Mix::read_mostly(),
+            Mix::with_ranges(100),
+            Mix::scan_heavy(1000),
+        ] {
+            assert_eq!(m.insert + m.delete + m.find + m.range, 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let _ = Mix::new(50, 50, 10, 0, 0);
+    }
+
+    #[test]
+    fn sample_frequencies_roughly_match() {
+        let m = Mix::new(20, 30, 40, 10, 64);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            match m.sample(&mut rng) {
+                Op::Insert => counts[0] += 1,
+                Op::Delete => counts[1] += 1,
+                Op::Find => counts[2] += 1,
+                Op::RangeScan => counts[3] += 1,
+            }
+        }
+        let pct = |c: usize| c as f64 / n as f64 * 100.0;
+        assert!((pct(counts[0]) - 20.0).abs() < 1.5);
+        assert!((pct(counts[1]) - 30.0).abs() < 1.5);
+        assert!((pct(counts[2]) - 40.0).abs() < 1.5);
+        assert!((pct(counts[3]) - 10.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn update_only_never_scans() {
+        let m = Mix::update_only();
+        assert!(!m.uses_ranges());
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            assert_ne!(m.sample(&mut rng), Op::RangeScan);
+            assert_ne!(m.sample(&mut rng), Op::Find);
+        }
+    }
+}

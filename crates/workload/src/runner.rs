@@ -1,0 +1,496 @@
+//! Timed multi-threaded throughput driver (the setbench protocol):
+//! prefill the structure to a target density, then run `threads` workers
+//! for a fixed wall-clock duration, each drawing operations from the mix
+//! and keys from the distribution, and report aggregate counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::dist::KeyDist;
+use crate::mix::{Mix, Op};
+use crate::ConcurrentMap;
+
+/// Configuration for one throughput run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// Key distribution (also defines the key space).
+    pub key_dist: KeyDist,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Fraction of the key space inserted before measurement (setbench
+    /// convention: 0.5, so inserts and deletes both succeed ~half the
+    /// time and the size stays stationary).
+    pub prefill_fraction: f64,
+    /// Base RNG seed (worker i uses `seed + i + 1`).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Conventional defaults: prefill 50%, seed 42.
+    pub fn new(threads: usize, duration: Duration, key_dist: KeyDist, mix: Mix) -> Self {
+        RunConfig {
+            threads,
+            duration,
+            key_dist,
+            mix,
+            prefill_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one throughput run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    /// Structure name.
+    pub name: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measured wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Completed operations by type.
+    pub inserts: u64,
+    /// Completed deletes.
+    pub deletes: u64,
+    /// Completed finds.
+    pub finds: u64,
+    /// Completed range scans.
+    pub scans: u64,
+    /// Total keys returned by all range scans.
+    pub scanned_keys: u64,
+    /// Total operations.
+    pub total_ops: u64,
+    /// Aggregate throughput (operations per second).
+    pub ops_per_sec: f64,
+}
+
+#[derive(Default)]
+struct Counts {
+    inserts: u64,
+    deletes: u64,
+    finds: u64,
+    scans: u64,
+    scanned_keys: u64,
+}
+
+/// Deterministically prefill `map` with `fraction` of the key space,
+/// inserting in a *shuffled* order (seeded). Insertion order matters: an
+/// ascending prefill would degenerate the unbalanced leaf-oriented BSTs
+/// into an O(n)-deep spine, which is not the setbench steady state —
+/// random insertion order yields the expected O(log n) depth.
+pub fn prefill<M: ConcurrentMap + ?Sized>(map: &M, key_space: u64, fraction: f64, seed: u64) {
+    use rand::seq::SliceRandom;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut keys: Vec<u64> = (0..key_space).collect();
+    keys.shuffle(&mut rng);
+    let target = (key_space as f64 * fraction).round() as usize;
+    for &k in keys.iter().take(target) {
+        map.insert(k, k);
+    }
+}
+
+/// Run the timed workload; returns aggregate counts and throughput.
+pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Measurement {
+    assert!(
+        !cfg.mix.uses_ranges() || map.supports_range_scan(),
+        "{} does not support range scans",
+        map.name()
+    );
+    let key_space = cfg.key_dist.key_space();
+    prefill(map, key_space, cfg.prefill_fraction, cfg.seed);
+
+    let stop = AtomicBool::new(false);
+    let start_line = std::sync::Barrier::new(cfg.threads + 1);
+    let mut elapsed = Duration::ZERO;
+
+    let totals: Vec<Counts> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let stop = &stop;
+                let start_line = &start_line;
+                let mix = cfg.mix;
+                let dist = cfg.key_dist.clone();
+                let seed = cfg.seed + tid as u64 + 1;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut c = Counts::default();
+                    start_line.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        // Batch 64 ops per stop-flag check to keep the
+                        // flag off the hot path.
+                        for _ in 0..64 {
+                            let k = dist.sample(&mut rng);
+                            match mix.sample(&mut rng) {
+                                Op::Insert => {
+                                    map.insert(k, k);
+                                    c.inserts += 1;
+                                }
+                                Op::Delete => {
+                                    map.delete(&k);
+                                    c.deletes += 1;
+                                }
+                                Op::Find => {
+                                    std::hint::black_box(map.get(&k));
+                                    c.finds += 1;
+                                }
+                                Op::RangeScan => {
+                                    let hi = k.saturating_add(mix.range_width.saturating_sub(1));
+                                    c.scanned_keys += map.range_scan(&k, &hi) as u64;
+                                    c.scans += 1;
+                                }
+                            }
+                        }
+                    }
+                    c
+                })
+            })
+            .collect();
+
+        start_line.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        let res = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        elapsed = t0.elapsed();
+        res
+    });
+
+    let mut m = Measurement {
+        name: map.name().to_string(),
+        threads: cfg.threads,
+        elapsed_secs: elapsed.as_secs_f64(),
+        inserts: 0,
+        deletes: 0,
+        finds: 0,
+        scans: 0,
+        scanned_keys: 0,
+        total_ops: 0,
+        ops_per_sec: 0.0,
+    };
+    for c in totals {
+        m.inserts += c.inserts;
+        m.deletes += c.deletes;
+        m.finds += c.finds;
+        m.scans += c.scans;
+        m.scanned_keys += c.scanned_keys;
+    }
+    m.total_ops = m.inserts + m.deletes + m.finds + m.scans;
+    m.ops_per_sec = m.total_ops as f64 / m.elapsed_secs;
+    m
+}
+
+/// Run a *fixed amount of work* (`ops_per_thread` operations on each of
+/// `threads` workers) and return the wall-clock time it took, excluding
+/// thread startup. This is the Criterion-friendly variant of
+/// [`run_throughput`] (Criterion measures time-per-batch; the timed
+/// variant is for the standalone experiment tables). The map must
+/// already be prefilled.
+pub fn run_fixed_ops<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+    dist: &KeyDist,
+    seed: u64,
+) -> Duration {
+    let start_line = std::sync::Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let start_line = &start_line;
+                let dist = dist.clone();
+                let seed = seed + tid as u64 + 1;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    start_line.wait();
+                    for _ in 0..ops_per_thread {
+                        let k = dist.sample(&mut rng);
+                        match mix.sample(&mut rng) {
+                            Op::Insert => {
+                                std::hint::black_box(map.insert(k, k));
+                            }
+                            Op::Delete => {
+                                std::hint::black_box(map.delete(&k));
+                            }
+                            Op::Find => {
+                                std::hint::black_box(map.get(&k));
+                            }
+                            Op::RangeScan => {
+                                let hi = k.saturating_add(mix.range_width.saturating_sub(1));
+                                std::hint::black_box(map.range_scan(&k, &hi));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        start_line.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        t0.elapsed()
+    })
+}
+
+/// Configuration for the scan/update interference experiment (E6):
+/// dedicated scanner threads against dedicated updater threads.
+#[derive(Clone, Debug)]
+pub struct ScanUpdaterConfig {
+    /// Number of updater threads (uniform 50/50 insert/delete over the
+    /// whole key space).
+    pub updaters: usize,
+    /// Number of scanner threads.
+    pub scanners: usize,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Key-space size.
+    pub key_space: u64,
+    /// `true`: scanner `i` repeatedly scans its own 1/scanners slice of
+    /// the key space (the paper's "scans on different parts of the tree
+    /// do not interfere" claim). `false`: every scanner scans the full
+    /// key space.
+    pub disjoint: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of a scan/update interference run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScanUpdaterMeasurement {
+    /// Structure name.
+    pub name: String,
+    /// Updater thread count.
+    pub updaters: usize,
+    /// Scanner thread count.
+    pub scanners: usize,
+    /// Whether scanners worked disjoint slices.
+    pub disjoint: bool,
+    /// Completed update operations.
+    pub update_ops: u64,
+    /// Completed scans.
+    pub scan_ops: u64,
+    /// Total keys returned by scans.
+    pub scanned_keys: u64,
+    /// Measured seconds.
+    pub elapsed_secs: f64,
+    /// Updates per second.
+    pub updates_per_sec: f64,
+    /// Scans per second.
+    pub scans_per_sec: f64,
+}
+
+/// Run the scan/update interference experiment.
+pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
+    map: &M,
+    cfg: &ScanUpdaterConfig,
+) -> ScanUpdaterMeasurement {
+    assert!(map.supports_range_scan());
+    prefill(map, cfg.key_space, 0.5, cfg.seed);
+
+    let stop = AtomicBool::new(false);
+    let nthreads = cfg.updaters + cfg.scanners;
+    let start_line = std::sync::Barrier::new(nthreads + 1);
+    let mut elapsed = Duration::ZERO;
+
+    let (update_ops, scan_results) = std::thread::scope(|s| {
+        let upd_handles: Vec<_> = (0..cfg.updaters)
+            .map(|tid| {
+                let stop = &stop;
+                let start_line = &start_line;
+                let seed = cfg.seed + 1000 + tid as u64;
+                let n = cfg.key_space;
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut ops = 0u64;
+                    start_line.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            let k = rng.gen_range(0..n);
+                            if rng.gen_bool(0.5) {
+                                map.insert(k, k);
+                            } else {
+                                map.delete(&k);
+                            }
+                            ops += 1;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        let scan_handles: Vec<_> = (0..cfg.scanners)
+            .map(|tid| {
+                let stop = &stop;
+                let start_line = &start_line;
+                let n = cfg.key_space;
+                let scanners = cfg.scanners.max(1) as u64;
+                let disjoint = cfg.disjoint;
+                s.spawn(move || {
+                    let (lo, hi) = if disjoint {
+                        let slice = n / scanners;
+                        let lo = tid as u64 * slice;
+                        (lo, lo + slice - 1)
+                    } else {
+                        (0, n - 1)
+                    };
+                    let mut scans = 0u64;
+                    let mut keys = 0u64;
+                    start_line.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        keys += map.range_scan(&lo, &hi) as u64;
+                        scans += 1;
+                    }
+                    (scans, keys)
+                })
+            })
+            .collect();
+
+        start_line.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        let u: u64 = upd_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let sr: Vec<(u64, u64)> = scan_handles.into_iter().map(|h| h.join().unwrap()).collect();
+        elapsed = t0.elapsed();
+        (u, sr)
+    });
+
+    let scan_ops: u64 = scan_results.iter().map(|(s, _)| s).sum();
+    let scanned_keys: u64 = scan_results.iter().map(|(_, k)| k).sum();
+    let secs = elapsed.as_secs_f64();
+    ScanUpdaterMeasurement {
+        name: map.name().to_string(),
+        updaters: cfg.updaters,
+        scanners: cfg.scanners,
+        disjoint: cfg.disjoint,
+        update_ops,
+        scan_ops,
+        scanned_keys,
+        elapsed_secs: secs,
+        updates_per_sec: update_ops as f64 / secs,
+        scans_per_sec: scan_ops as f64 / secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// A trivial reference structure to exercise the driver itself.
+    struct LockedMap(Mutex<BTreeMap<u64, u64>>);
+
+    impl ConcurrentMap for LockedMap {
+        fn insert(&self, k: u64, v: u64) -> bool {
+            let mut m = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(k) {
+                e.insert(v);
+                true
+            } else {
+                false
+            }
+        }
+        fn delete(&self, k: &u64) -> bool {
+            self.0.lock().unwrap().remove(k).is_some()
+        }
+        fn get(&self, k: &u64) -> Option<u64> {
+            self.0.lock().unwrap().get(k).copied()
+        }
+        fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+            self.0.lock().unwrap().range(*lo..=*hi).count()
+        }
+        fn name(&self) -> &'static str {
+            "locked-btreemap"
+        }
+    }
+
+    #[test]
+    fn prefill_density_is_close() {
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        prefill(&m, 10_000, 0.5, 7);
+        let n = m.0.lock().unwrap().len();
+        assert!((4_500..=5_500).contains(&n), "density off: {n}");
+    }
+
+    #[test]
+    fn throughput_run_counts_ops() {
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        let cfg = RunConfig::new(
+            2,
+            Duration::from_millis(100),
+            KeyDist::uniform(1_000),
+            Mix::with_ranges(16),
+        );
+        let meas = run_throughput(&m, &cfg);
+        assert_eq!(meas.threads, 2);
+        assert!(meas.total_ops > 0);
+        assert_eq!(
+            meas.total_ops,
+            meas.inserts + meas.deletes + meas.finds + meas.scans
+        );
+        assert!(meas.ops_per_sec > 0.0);
+        // Mix shares should be roughly honoured.
+        assert!(meas.finds > meas.scans);
+    }
+
+    #[test]
+    fn scan_updater_run_reports_both_sides() {
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        let cfg = ScanUpdaterConfig {
+            updaters: 1,
+            scanners: 1,
+            duration: Duration::from_millis(80),
+            key_space: 1_000,
+            disjoint: true,
+            seed: 3,
+        };
+        let meas = run_scan_updater(&m, &cfg);
+        assert!(meas.update_ops > 0);
+        assert!(meas.scan_ops > 0);
+        assert!(meas.scanned_keys > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support range scans")]
+    fn range_mix_on_scanless_structure_panics() {
+        struct NoScan;
+        impl ConcurrentMap for NoScan {
+            fn insert(&self, _: u64, _: u64) -> bool {
+                true
+            }
+            fn delete(&self, _: &u64) -> bool {
+                false
+            }
+            fn get(&self, _: &u64) -> Option<u64> {
+                None
+            }
+            fn range_scan(&self, _: &u64, _: &u64) -> usize {
+                0
+            }
+            fn supports_range_scan(&self) -> bool {
+                false
+            }
+            fn name(&self) -> &'static str {
+                "noscan"
+            }
+        }
+        let cfg = RunConfig::new(
+            1,
+            Duration::from_millis(10),
+            KeyDist::uniform(10),
+            Mix::with_ranges(4),
+        );
+        let _ = run_throughput(&NoScan, &cfg);
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the full public API of the PNB-BST in two minutes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pnbbst_repro::PnbBst;
+use std::ops::Bound;
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    // A concurrent ordered map: keys are totally ordered, inserts keep
+    // the paper's set semantics (no replacement).
+    let tree: Arc<PnbBst<u64, String>> = Arc::new(PnbBst::new());
+
+    // --- Single-threaded basics -------------------------------------
+    assert!(tree.insert(20, "twenty".into()));
+    assert!(tree.insert(10, "ten".into()));
+    assert!(tree.insert(30, "thirty".into()));
+    assert!(!tree.insert(20, "again".into())); // duplicate: rejected
+
+    assert_eq!(tree.get(&10).as_deref(), Some("ten"));
+    assert!(tree.contains(&30));
+    assert_eq!(tree.remove(&30).as_deref(), Some("thirty"));
+    assert_eq!(tree.get(&30), None);
+
+    // Wait-free, linearizable range queries (ascending order):
+    tree.insert(15, "fifteen".into());
+    tree.insert(25, "twenty-five".into());
+    let range: Vec<u64> = tree.range_scan(&10, &20).into_iter().map(|(k, _)| k).collect();
+    assert_eq!(range, vec![10, 15, 20]);
+
+    // Visitor form with arbitrary bounds — no allocation per element:
+    let mut count = 0;
+    tree.range_scan_with(Bound::Excluded(&10), Bound::Unbounded, |_, _| count += 1);
+    assert_eq!(count, 3); // 15, 20, 25
+
+    // --- Point-in-time snapshots ------------------------------------
+    let snap = tree.snapshot();
+    tree.insert(99, "late".into());
+    assert_eq!(snap.get(&99), None); // the snapshot predates 99
+    assert_eq!(tree.get(&99).as_deref(), Some("late"));
+    println!("snapshot of phase {} holds {} keys", snap.seq(), snap.len());
+    drop(snap);
+
+    // --- Concurrency ------------------------------------------------
+    // Writers on disjoint stripes + a scanner, all lock-free/wait-free.
+    let writers: Vec<_> = (0..4u64)
+        .map(|w| {
+            let tree = Arc::clone(&tree);
+            thread::spawn(move || {
+                for i in 0..1_000 {
+                    tree.insert(1_000 * (w + 1) + i, format!("w{w}-{i}"));
+                }
+            })
+        })
+        .collect();
+
+    // Scans are safe (and wait-free) at any point during the writes.
+    let mid_flight = tree.scan_count(&1_000, &5_999);
+    println!("keys visible to a mid-flight scan: {mid_flight}");
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(tree.scan_count(&1_000, &5_999), 4_000);
+    println!("final size: {} keys across phases 0..{}", tree.len(), tree.phase());
+    println!("quickstart OK");
+}

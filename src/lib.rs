@@ -1,0 +1,27 @@
+//! # pnbbst-repro — reproduction suite facade
+//!
+//! Umbrella crate for the reproduction of Fatourou & Ruppert,
+//! *Persistent Non-Blocking Binary Search Trees Supporting Wait-Free
+//! Range Queries* (SPAA 2019). Re-exports the main entry points of every
+//! workspace crate so the examples and cross-crate integration tests
+//! have a single import root:
+//!
+//! * [`PnbBst`] / [`PnbBstSet`] / [`Snapshot`] — the paper's structure
+//!   (crate `pnb-bst`).
+//! * [`NbBst`] — the PODC 2010 substrate it extends (crate `nb-bst`).
+//! * [`RwLockTree`] / [`MutexTree`] / [`SeqBst`] — baselines (crate
+//!   `lock-bst`).
+//! * [`workload`] — the setbench-style measurement harness.
+//!
+//! See `README.md` for the repository tour, `DESIGN.md` for the system
+//! inventory and experiment index, and `EXPERIMENTS.md` for measured
+//! results.
+
+#![warn(missing_docs)]
+
+pub use lock_bst::seq::SeqBst;
+pub use lock_bst::{MutexTree, RwLockTree};
+pub use nb_bst::NbBst;
+pub use pnb_bst::{PnbBst, PnbBstSet, Snapshot, StatsSnapshot};
+
+pub use workload;

@@ -1,0 +1,181 @@
+//! Property-based testing: every structure against a `BTreeMap` oracle.
+//!
+//! Random operation sequences (inserts / deletes / finds / range scans /
+//! snapshots) must produce byte-identical results to the sequential
+//! model when executed single-threaded — for the PNB-BST, the NB-BST
+//! baseline, and the SeqBst reference.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use pnbbst_repro::{NbBst, PnbBst, SeqBst};
+
+#[derive(Clone, Debug)]
+enum Action {
+    Insert(u16, u16),
+    Remove(u16),
+    Get(u16),
+    Scan(u16, u16),
+    Snapshot,
+}
+
+fn action_strategy(key_space: u16) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (0..key_space, any::<u16>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        3 => (0..key_space).prop_map(Action::Remove),
+        2 => (0..key_space).prop_map(Action::Get),
+        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Action::Scan(a.min(b), a.max(b))),
+        1 => Just(Action::Snapshot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pnbbst_matches_btreemap(actions in prop::collection::vec(action_strategy(64), 1..400)) {
+        let tree: PnbBst<u16, u16> = PnbBst::new();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        // Live snapshots with their expected (frozen) model states.
+        let mut snaps: Vec<(pnb_bst::Snapshot<'_, u16, u16>, BTreeMap<u16, u16>)> = Vec::new();
+
+        for a in &actions {
+            match a {
+                Action::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(*k, *v), !model.contains_key(k));
+                    model.entry(*k).or_insert(*v);
+                }
+                Action::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(k));
+                }
+                Action::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(k).copied());
+                }
+                Action::Scan(lo, hi) => {
+                    let got = tree.range_scan(lo, hi);
+                    let expect: Vec<(u16, u16)> =
+                        model.range(*lo..=*hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+                Action::Snapshot => {
+                    if snaps.len() < 4 {
+                        snaps.push((tree.snapshot(), model.clone()));
+                    }
+                }
+            }
+        }
+
+        // The final state matches...
+        let expect: Vec<(u16, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(tree.to_vec(), expect);
+        prop_assert_eq!(tree.check_invariants(), model.len());
+        // ...and every live snapshot still reflects its own epoch.
+        for (snap, frozen) in &snaps {
+            let expect: Vec<(u16, u16)> = frozen.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(snap.to_vec(), expect);
+            // Spot-check point reads against the frozen model.
+            for k in [0u16, 13, 31, 63] {
+                prop_assert_eq!(snap.get(&k), frozen.get(&k).copied());
+            }
+        }
+    }
+
+    #[test]
+    fn nbbst_matches_btreemap(actions in prop::collection::vec(action_strategy(64), 1..400)) {
+        let tree: NbBst<u16, u16> = NbBst::new();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        for a in &actions {
+            match a {
+                Action::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(*k, *v), !model.contains_key(k));
+                    model.entry(*k).or_insert(*v);
+                }
+                Action::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(k));
+                }
+                Action::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(k).copied());
+                }
+                // NB-BST has no linearizable scan; use the quiescent dump
+                // (we are single-threaded here, so it is exact).
+                Action::Scan(lo, hi) => {
+                    let got: Vec<(u16, u16)> = tree
+                        .to_vec_quiescent()
+                        .into_iter()
+                        .filter(|(k, _)| k >= lo && k <= hi)
+                        .collect();
+                    let expect: Vec<(u16, u16)> =
+                        model.range(*lo..=*hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, expect);
+                }
+                Action::Snapshot => {}
+            }
+        }
+        prop_assert_eq!(tree.check_invariants(), model.len());
+    }
+
+    #[test]
+    fn seqbst_matches_btreemap(actions in prop::collection::vec(action_strategy(64), 1..400)) {
+        let mut tree: SeqBst<u16, u16> = SeqBst::new();
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        for a in &actions {
+            match a {
+                Action::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(*k, *v), !model.contains_key(k));
+                    model.entry(*k).or_insert(*v);
+                }
+                Action::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(k));
+                }
+                Action::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(k).copied());
+                }
+                Action::Scan(lo, hi) => {
+                    let expect: Vec<(u16, u16)> =
+                        model.range(*lo..=*hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(tree.range_scan(lo, hi), expect);
+                }
+                Action::Snapshot => {}
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        let expect: Vec<(u16, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(tree.to_vec(), expect);
+    }
+
+    #[test]
+    fn scan_bounds_agree_with_model(
+        keys in prop::collection::btree_set(0u32..500, 0..120),
+        lo in 0u32..500,
+        width in 0u32..200,
+    ) {
+        let tree: PnbBst<u32, u32> = PnbBst::new();
+        for &k in &keys {
+            tree.insert(k, k * 3);
+        }
+        let hi = lo.saturating_add(width);
+        let got: Vec<u32> = tree.range_scan(&lo, &hi).into_iter().map(|(k, _)| k).collect();
+        let expect: Vec<u32> = keys.iter().copied().filter(|k| *k >= lo && *k <= hi).collect();
+        prop_assert_eq!(tree.scan_count(&lo, &hi), expect.len());
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn set_wrapper_matches_btreeset(
+        ops in prop::collection::vec((0u8..3, 0u16..100), 1..300)
+    ) {
+        use std::collections::BTreeSet;
+        let set = pnb_bst::PnbBstSet::<u16>::new();
+        let mut model = BTreeSet::new();
+        for (op, k) in ops {
+            match op {
+                0 => { prop_assert_eq!(set.insert(k), model.insert(k)); }
+                1 => { prop_assert_eq!(set.delete(&k), model.remove(&k)); }
+                _ => { prop_assert_eq!(set.contains(&k), model.contains(&k)); }
+            }
+        }
+        let got = set.to_vec();
+        let expect: Vec<u16> = model.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+}
