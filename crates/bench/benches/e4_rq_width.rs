@@ -25,36 +25,32 @@ fn bench_scans(c: &mut Criterion, map: &dyn ConcurrentMap) {
 
     for width in [10u64, 100, 1_000, 10_000] {
         group.throughput(Throughput::Elements(width / 2)); // ~half density
-        group.bench_with_input(
-            BenchmarkId::new(map.name(), width),
-            &width,
-            |b, &width| {
-                // One background updater churns for the whole measurement.
-                let stop = AtomicBool::new(false);
-                std::thread::scope(|s| {
-                    s.spawn(|| {
-                        let mut x = 0x1234_5678u64;
-                        while !stop.load(Ordering::Relaxed) {
-                            x ^= x << 13;
-                            x ^= x >> 7;
-                            x ^= x << 17;
-                            let k = x % KEY_RANGE;
-                            if x & 1 == 0 {
-                                map.insert(k, k);
-                            } else {
-                                map.delete(&k);
-                            }
+        group.bench_with_input(BenchmarkId::new(map.name(), width), &width, |b, &width| {
+            // One background updater churns for the whole measurement.
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let mut x = 0x1234_5678u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % KEY_RANGE;
+                        if x & 1 == 0 {
+                            map.insert(k, k);
+                        } else {
+                            map.delete(&k);
                         }
-                    });
-                    let mut lo = 0u64;
-                    b.iter(|| {
-                        lo = (lo + 7919) % (KEY_RANGE - width);
-                        std::hint::black_box(map.range_scan(&lo, &(lo + width - 1)))
-                    });
-                    stop.store(true, Ordering::Relaxed);
+                    }
                 });
-            },
-        );
+                let mut lo = 0u64;
+                b.iter(|| {
+                    lo = (lo + 7919) % (KEY_RANGE - width);
+                    std::hint::black_box(map.range_scan(&lo, &(lo + width - 1)))
+                });
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
     }
     group.finish();
 }

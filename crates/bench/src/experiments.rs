@@ -130,8 +130,9 @@ pub fn e2(opts: &ExpOpts) -> String {
 
 /// E3: range-query mix scaling (25i/25d/40f/10rq, width 100).
 pub fn e3(opts: &ExpOpts) -> String {
-    let mut out =
-        String::from("\n### E3 — Mixed workload with range queries (25i/25d/40f/10rq, width 100)\n");
+    let mut out = String::from(
+        "\n### E3 — Mixed workload with range queries (25i/25d/40f/10rq, width 100)\n",
+    );
     for kr in opts.key_ranges() {
         let (threads, rows) = sweep_structures(opts, Mix::with_ranges(100), kr, true);
         out.push_str(&tput_table(
@@ -220,7 +221,9 @@ pub fn e5(opts: &ExpOpts) -> String {
 
     // Sequential floor (needs &mut, measured directly).
     let (ins, fnd, del) = seq_latency_triple(n, reps);
-    out.push_str(&format!("| seq-bst (floor) | {ins:.0} | {fnd:.0} | {del:.0} |\n"));
+    out.push_str(&format!(
+        "| seq-bst (floor) | {ins:.0} | {fnd:.0} | {del:.0} |\n"
+    ));
     out
 }
 
@@ -292,7 +295,11 @@ fn seq_latency_triple(n: u64, reps: u64) -> (f64, f64, f64) {
 /// operating on different parts of the tree do not interfere").
 pub fn e6(opts: &ExpOpts) -> String {
     let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
-    let scanner_counts = if opts.quick { vec![1, 2] } else { vec![1, 2, 4] };
+    let scanner_counts = if opts.quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    };
     let mut out = format!(
         "\n### E6 — Scan/update interference (PNB-BST, 2 updaters, key range {kr})\n\n\
          | scanners | mode | scans/s | updates/s | keys/scan |\n|---|---|---|---|---|\n"

@@ -81,10 +81,13 @@ where
         // SAFETY: nodes[0] is reachable (returned by search) and pinned.
         let first = unsafe { &*nodes[0] };
         let new_word = Shared::from(info).with_tag(FreezeTag::Flag.bit());
-        match first
-            .update
-            .compare_exchange(word_shared(old_update[0]), new_word, SeqCst, SeqCst, guard)
-        {
+        match first.update.compare_exchange(
+            word_shared(old_update[0]),
+            new_word,
+            SeqCst,
+            SeqCst,
+            guard,
+        ) {
             Ok(_) => {
                 // Published. The displaced word loses its field reference.
                 self.dec_ref(old_update[0].info, guard);
@@ -314,7 +317,12 @@ where
     /// aborted. Aborted attempts never perform a child CAS (Lemma 10), so
     /// the subtree never became reachable; deferral covers helpers that
     /// may still hold the pointer.
-    pub(crate) fn defer_free_new_child(&self, kind: OpKind, new_child: NodePtr<K, V>, guard: &Guard) {
+    pub(crate) fn defer_free_new_child(
+        &self,
+        kind: OpKind,
+        new_child: NodePtr<K, V>,
+        guard: &Guard,
+    ) {
         unsafe {
             if let OpKind::Insert = kind {
                 let n = &*new_child;

@@ -109,4 +109,68 @@ mod tests {
         assert_eq!(SKey::Fin(7).as_finite(), Some(&7));
         assert_eq!(SKey::Inf1::<i32>.as_finite(), None);
     }
+
+    #[test]
+    fn derived_ord_is_total_and_consistent_with_cmp_fin() {
+        // The derived Ord on SKey must agree with cmp_fin wherever both
+        // are defined: for finite x and any key s, x < s ⟺ s.cmp_fin(&x)
+        // is Greater. Probe the whole cross product of a small domain.
+        let keys = [
+            SKey::Fin(i64::MIN),
+            SKey::Fin(-1),
+            SKey::Fin(0),
+            SKey::Fin(1),
+            SKey::Fin(i64::MAX),
+            SKey::Inf1,
+            SKey::Inf2,
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                assert_eq!(a < b, i < j, "variant order must drive Ord: {a:?} vs {b:?}");
+                assert_eq!(a == b, i == j);
+                if let SKey::Fin(x) = b {
+                    assert_eq!(
+                        a.cmp_fin(x),
+                        a.cmp(b),
+                        "cmp_fin must agree with Ord on finite probes"
+                    );
+                    assert_eq!(a.fin_lt(x), *a > *b, "fin_lt is `k < self`");
+                    assert_eq!(a.fin_eq(x), a == b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sentinels_never_equal_finite_keys() {
+        // Boundary semantics: fin_eq must be false for both sentinels on
+        // every probe, including the extremes of the key domain.
+        for probe in [u64::MIN, 1, u64::MAX] {
+            assert!(!SKey::Inf1::<u64>.fin_eq(&probe));
+            assert!(!SKey::Inf2::<u64>.fin_eq(&probe));
+            assert_eq!(SKey::Inf1::<u64>.cmp_fin(&probe), Ordering::Greater);
+            assert_eq!(SKey::Inf2::<u64>.cmp_fin(&probe), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn max_picks_the_internal_key_like_the_paper() {
+        // Inserts key the fresh internal node by max(new, old): check the
+        // cases the tree relies on, including a sentinel-keyed leaf.
+        assert_eq!(std::cmp::max(SKey::Fin(3u32), SKey::Fin(9)), SKey::Fin(9));
+        assert_eq!(std::cmp::max(SKey::Fin(u32::MAX), SKey::Inf1), SKey::Inf1);
+        assert_eq!(std::cmp::max(SKey::Inf1::<u32>, SKey::Inf2), SKey::Inf2);
+    }
+
+    #[test]
+    fn non_copy_key_types_work() {
+        // K is only required to be Ord + Clone; exercise with String.
+        let a = SKey::Fin("apple".to_string());
+        let b = SKey::Fin("banana".to_string());
+        assert!(a < b);
+        assert!(b.fin_lt(&"apricot".to_string()));
+        assert!(!a.fin_lt(&"apple".to_string())); // equal goes right
+        assert!(SKey::Inf1::<String>.fin_lt(&"zzz".to_string()));
+        assert_eq!(a.as_finite().map(String::as_str), Some("apple"));
+    }
 }

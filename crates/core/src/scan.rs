@@ -142,10 +142,17 @@ where
         f: &mut F,
         guard: &Guard,
     ) {
-        self.scan_tree_ctl(seq, lo, hi, false, &mut |k, v| {
-            f(k, v);
-            std::ops::ControlFlow::Continue(())
-        }, guard);
+        self.scan_tree_ctl(
+            seq,
+            lo,
+            hi,
+            false,
+            &mut |k, v| {
+                f(k, v);
+                std::ops::ControlFlow::Continue(())
+            },
+            guard,
+        );
     }
 
     /// Generalized `ScanHelper`: optionally descending
@@ -178,8 +185,7 @@ where
                 // Line 137: {node.key} ∩ [a, b] — sentinels never match.
                 if let SKey::Fin(k) = &node.key {
                     if bounds_contain(&lo, &hi, k)
-                        && f(k, node.value.as_ref().expect("finite leaf has a value"))
-                            .is_break()
+                        && f(k, node.value.as_ref().expect("finite leaf has a value")).is_break()
                     {
                         return;
                     }
@@ -312,7 +318,9 @@ mod tests {
     fn scan_with_exclusive_bounds() {
         let t = populated();
         let mut got = Vec::new();
-        t.range_scan_with(Bound::Excluded(&3), Bound::Excluded(&10), |k, _| got.push(*k));
+        t.range_scan_with(Bound::Excluded(&3), Bound::Excluded(&10), |k, _| {
+            got.push(*k)
+        });
         assert_eq!(got, vec![4, 6, 7, 8]);
         let mut got = Vec::new();
         t.range_scan_with(Bound::Excluded(&1), Bound::Unbounded, |k, _| got.push(*k));
@@ -394,14 +402,28 @@ mod tests {
         let mut desc = Vec::new();
         let guard = &crossbeam_epoch::pin();
         let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        t.scan_tree_ctl(seq, Bound::Unbounded, Bound::Unbounded, false, &mut |k, _| {
-            asc.push(*k);
-            std::ops::ControlFlow::Continue(())
-        }, guard);
-        t.scan_tree_ctl(seq, Bound::Unbounded, Bound::Unbounded, true, &mut |k, _| {
-            desc.push(*k);
-            std::ops::ControlFlow::Continue(())
-        }, guard);
+        t.scan_tree_ctl(
+            seq,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            false,
+            &mut |k, _| {
+                asc.push(*k);
+                std::ops::ControlFlow::Continue(())
+            },
+            guard,
+        );
+        t.scan_tree_ctl(
+            seq,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            true,
+            &mut |k, _| {
+                desc.push(*k);
+                std::ops::ControlFlow::Continue(())
+            },
+            guard,
+        );
         let mut r = desc.clone();
         r.reverse();
         assert_eq!(asc, r);
@@ -414,14 +436,21 @@ mod tests {
         let mut visited = Vec::new();
         let guard = &crossbeam_epoch::pin();
         let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        t.scan_tree_ctl(seq, Bound::Unbounded, Bound::Unbounded, false, &mut |k, _| {
-            visited.push(*k);
-            if visited.len() == 3 {
-                std::ops::ControlFlow::Break(())
-            } else {
-                std::ops::ControlFlow::Continue(())
-            }
-        }, guard);
+        t.scan_tree_ctl(
+            seq,
+            Bound::Unbounded,
+            Bound::Unbounded,
+            false,
+            &mut |k, _| {
+                visited.push(*k);
+                if visited.len() == 3 {
+                    std::ops::ControlFlow::Break(())
+                } else {
+                    std::ops::ControlFlow::Continue(())
+                }
+            },
+            guard,
+        );
         assert_eq!(visited, vec![1, 3, 4]);
     }
 
@@ -442,9 +471,21 @@ mod tests {
         // A sentinel-keyed internal node: all finite upper bounds skip it.
         assert!(skip_right(&Bound::Included(&i64::MAX), &SKey::Inf1));
         // bounds_contain composes both sides.
-        assert!(bounds_contain(&Bound::Included(&1), &Bound::Included(&3), &2));
-        assert!(!bounds_contain(&Bound::Excluded(&2), &Bound::Included(&3), &2));
-        assert!(!bounds_contain(&Bound::Included(&1), &Bound::Excluded(&2), &2));
+        assert!(bounds_contain(
+            &Bound::Included(&1),
+            &Bound::Included(&3),
+            &2
+        ));
+        assert!(!bounds_contain(
+            &Bound::Excluded(&2),
+            &Bound::Included(&3),
+            &2
+        ));
+        assert!(!bounds_contain(
+            &Bound::Included(&1),
+            &Bound::Excluded(&2),
+            &2
+        ));
         assert!(bounds_contain(&Bound::Unbounded, &Bound::Unbounded, &2));
     }
 }

@@ -42,7 +42,7 @@ where
             }
             gp = p; // line 37
             p = l; // line 38
-            // line 39: descend to the version-seq child.
+                   // line 39: descend to the version-seq child.
             l = self.read_child(l_ref, l_ref.key.fin_lt(k), seq, guard);
         }
         (gp, p, l)
@@ -126,6 +126,7 @@ mod tests {
         // child while seq=1 sees the new one.
         let t: PnbBst<i32, i32> = PnbBst::new();
         t.insert(10, 10); // phase 0
+
         // Bump the phase the way a RangeScan would.
         let _ = t.range_scan(&0, &0);
         assert_eq!(t.phase(), 1);

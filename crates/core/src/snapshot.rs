@@ -144,8 +144,7 @@ where
 
     /// Visitor-style range query within the snapshot.
     pub fn range_scan_with<F: FnMut(&K, &V)>(&self, lo: Bound<&K>, hi: Bound<&K>, mut f: F) {
-        self.tree
-            .scan_tree(self.seq, lo, hi, &mut f, &self.guard);
+        self.tree.scan_tree(self.seq, lo, hi, &mut f, &self.guard);
     }
 
     /// All key/value pairs in the snapshot, ascending.

@@ -96,10 +96,20 @@ where
     /// sentinel leaves `∞₁` and `∞₂` (paper Figure 2, lines 28–31).
     pub fn new() -> Self {
         let dummy: InfoPtr<K, V> = Box::into_raw(Box::new(Info::dummy()));
-        let left: NodePtr<K, V> =
-            Box::into_raw(Box::new(Node::leaf(SKey::Inf1, None, 0, std::ptr::null(), dummy)));
-        let right: NodePtr<K, V> =
-            Box::into_raw(Box::new(Node::leaf(SKey::Inf2, None, 0, std::ptr::null(), dummy)));
+        let left: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+            SKey::Inf1,
+            None,
+            0,
+            std::ptr::null(),
+            dummy,
+        )));
+        let right: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+            SKey::Inf2,
+            None,
+            0,
+            std::ptr::null(),
+            dummy,
+        )));
         let root: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(
             SKey::Inf2,
             0,
@@ -168,6 +178,7 @@ where
         loop {
             let seq = self.counter.load(SeqCst); // line 74
             let (gp, p, l) = self.search(key, seq, guard); // line 75
+
             // SAFETY: `search` returns non-null p and l (Invariant 4.7).
             let p_ref = unsafe { p.deref() };
             if self.validate_leaf(gp, p_ref, l, key, guard).is_some() {
@@ -212,6 +223,7 @@ where
             self.stats.update_attempts();
             let seq = self.counter.load(SeqCst); // line 155
             let (gp, p, l) = self.search(key, seq, guard); // line 156
+
             // SAFETY: non-null per Invariant 4.8.
             let p_ref = unsafe { p.deref() };
             let l_ref = unsafe { l.deref() };
@@ -288,6 +300,7 @@ where
             self.stats.update_attempts();
             let seq = self.counter.load(SeqCst); // line 177
             let (gp, p, l) = self.search(key, seq, guard); // line 178
+
             // SAFETY: non-null per Invariant 4.9.
             let p_ref = unsafe { p.deref() };
             let l_ref = unsafe { l.deref() };
@@ -550,7 +563,9 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x: u64 = 0x9E3779B97F4A7C15;
         for step in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 33) % 64) as i32;
             match step % 3 {
                 0 => {

@@ -167,8 +167,64 @@ mod tests {
         let p_ref = unsafe { p.deref() };
         let left = p_ref.key.fin_lt(&10);
         assert!(t.validate_link(p_ref, l, left, guard).is_some());
-        t.insert(5, 5); // replaces the leaf under p (or deeper)
-        // The old l can no longer be p's current child on that side.
+        // Inserting 5 replaces the leaf under p (or deeper): the old l
+        // can no longer be p's current child on that side.
+        t.insert(5, 5);
         assert!(t.validate_link(p_ref, l, left, guard).is_none());
+    }
+
+    #[test]
+    fn invariant_checker_accepts_valid_and_rejects_corrupted() {
+        let t: PnbBst<i32, i32> = PnbBst::new();
+        for k in [10, 5, 20, 1, 7] {
+            assert!(t.insert(k, k));
+        }
+        // A valid tree passes and reports the key count.
+        assert_eq!(t.check_invariants(), 5);
+
+        // Corrupt the structure: swap the root's children so the finite
+        // subtree lands on the ∞-ordered right side. The checker must
+        // reject (panic on) the broken BST ordering.
+        let guard = &epoch::pin();
+        // SAFETY: single-threaded test; the root outlives the guard.
+        let root = unsafe { &*t.root };
+        let l = root.left.load(SeqCst, guard);
+        let r = root.right.load(SeqCst, guard);
+        root.left.store(r, SeqCst);
+        root.right.store(l, SeqCst);
+        let verdict =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.check_invariants()));
+        assert!(verdict.is_err(), "corrupted tree must be rejected");
+        // Restore the links so teardown walks a sane tree.
+        root.left.store(l, SeqCst);
+        root.right.store(r, SeqCst);
+        assert_eq!(t.check_invariants(), 5, "restored tree is valid again");
+    }
+
+    #[cfg(feature = "testing-internals")]
+    #[test]
+    fn validate_leaf_fails_on_frozen_parent() {
+        use crate::testing::PauseOutcome;
+        let t: PnbBst<i32, i32> = PnbBst::new();
+        t.insert(10, 1);
+        t.insert(20, 2);
+        // Suspend an insert right after its first freeze CAS: the parent
+        // of the target leaf is now flagged (frozen, Undecided).
+        let op = match t.insert_paused(15, 15) {
+            PauseOutcome::Paused(p) => p,
+            PauseOutcome::Completed(_) => panic!("fresh key must pause"),
+        };
+        let guard = &epoch::pin();
+        let (gp, p, l) = t.search(&15, t.phase(), guard);
+        let p_ref = unsafe { p.deref() };
+        // Validation on the frozen neighbourhood must fail — and, per
+        // lines 53–55, help the pending operation to completion first.
+        assert!(
+            t.validate_leaf(gp, p_ref, l, &15, guard).is_none(),
+            "frozen parent must fail validation"
+        );
+        assert!(op.resume(), "the helping validation committed the insert");
+        assert_eq!(t.get(&15), Some(15));
+        assert_eq!(t.check_invariants(), 3);
     }
 }

@@ -335,7 +335,9 @@ mod tests {
         let mut m: BTreeMap<i32, usize> = BTreeMap::new();
         let mut x: u64 = 42;
         for step in 0..6000usize {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 33) % 80) as i32;
             match step % 4 {
                 0 | 3 => {
@@ -348,10 +350,7 @@ mod tests {
             if step % 500 == 0 {
                 let lo = ((x >> 20) % 80) as i32;
                 let hi = lo + 20;
-                let expect: Vec<_> = m
-                    .range(lo..=hi)
-                    .map(|(k, v)| (*k, *v))
-                    .collect();
+                let expect: Vec<_> = m.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
                 assert_eq!(t.range_scan(&lo, &hi), expect);
             }
         }

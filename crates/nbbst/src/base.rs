@@ -216,7 +216,10 @@ mod tests {
         }));
         let ptr: InfoPtr<i32, i32> = &rec;
         for st in [state::CLEAN, state::IFLAG, state::DFLAG, state::MARK] {
-            let w = UpdWord { state: st, info: ptr };
+            let w = UpdWord {
+                state: st,
+                info: ptr,
+            };
             let rt = UpdWord::from_shared(w.shared());
             assert!(rt == w);
         }

@@ -218,10 +218,13 @@ where
             unsafe { (*op).refs.fetch_add(1, SeqCst) };
             let gp_ref = unsafe { s.gp.deref() };
             let new_word = Shared::from(op).with_tag(state::DFLAG);
-            match gp_ref
-                .update
-                .compare_exchange(s.gpupdate.shared(), new_word, SeqCst, SeqCst, guard)
-            {
+            match gp_ref.update.compare_exchange(
+                s.gpupdate.shared(),
+                new_word,
+                SeqCst,
+                SeqCst,
+                guard,
+            ) {
                 Ok(_) => {
                     self.dec_ref(s.gpupdate.info, guard);
                     let done = self.help_delete(op, guard);
@@ -344,7 +347,13 @@ where
         );
     }
 
-    fn cas_child(&self, parent: NodePtr<K, V>, old: NodePtr<K, V>, new: NodePtr<K, V>, guard: &Guard) -> bool {
+    fn cas_child(
+        &self,
+        parent: NodePtr<K, V>,
+        old: NodePtr<K, V>,
+        new: NodePtr<K, V>,
+        guard: &Guard,
+    ) -> bool {
         // SAFETY: parent/new are protected by the published record.
         let parent = unsafe { &*parent };
         let new_ref = unsafe { &*new };
@@ -490,7 +499,9 @@ mod tests {
         let mut model = BTreeMap::new();
         let mut x: u64 = 0xDEADBEEFCAFE;
         for step in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((x >> 33) % 48) as i32;
             match step % 3 {
                 0 => {

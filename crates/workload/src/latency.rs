@@ -88,7 +88,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= rank {
                 // Upper bound of bucket i: 2^(i+1) - 1 ns.
-                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+                return Some(if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                });
             }
         }
         Some(u64::MAX)
@@ -160,8 +164,7 @@ pub fn run_latency<M: ConcurrentMap + ?Sized>(
                                     2
                                 }
                                 Op::RangeScan => {
-                                    let hi =
-                                        k.saturating_add(mix.range_width.saturating_sub(1));
+                                    let hi = k.saturating_add(mix.range_width.saturating_sub(1));
                                     std::hint::black_box(map.range_scan(&k, &hi));
                                     3
                                 }
@@ -222,7 +225,10 @@ mod tests {
         let p50 = h.percentile(0.50).unwrap();
         let p99 = h.percentile(0.99).unwrap();
         assert!(p50 < 1_000, "p50 should land in the fast bucket: {p50}");
-        assert!(p99 >= 1_000_000 / 2, "p99 should land in the slow bucket: {p99}");
+        assert!(
+            p99 >= 1_000_000 / 2,
+            "p99 should land in the slow bucket: {p99}"
+        );
         assert!(p50 <= p99);
     }
 

@@ -360,7 +360,10 @@ pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
         std::thread::sleep(cfg.duration);
         stop.store(true, Ordering::Relaxed);
         let u: u64 = upd_handles.into_iter().map(|h| h.join().unwrap()).sum();
-        let sr: Vec<(u64, u64)> = scan_handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let sr: Vec<(u64, u64)> = scan_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
         elapsed = t0.elapsed();
         (u, sr)
     });

@@ -41,7 +41,9 @@ fn main() {
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let ts = clock.fetch_add(1, Ordering::Relaxed);
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let cents = 100 + (x >> 33) % 10_000;
                     index.insert(ts, cents);
                     n += 1;
@@ -124,6 +126,9 @@ fn main() {
     println!("ingested {ingested} orders, indexed size {final_size}");
     println!("dashboard produced {reports} aggregate reports (wait-free scans)");
     println!("audit took {audits} full snapshots");
-    assert_eq!(final_size as u64, ingested, "every ingested order is indexed");
+    assert_eq!(
+        final_size as u64, ingested,
+        "every ingested order is indexed"
+    );
     println!("analytics_dashboard OK");
 }

@@ -28,7 +28,11 @@ fn main() {
     // Wait-free, linearizable range queries (ascending order):
     tree.insert(15, "fifteen".into());
     tree.insert(25, "twenty-five".into());
-    let range: Vec<u64> = tree.range_scan(&10, &20).into_iter().map(|(k, _)| k).collect();
+    let range: Vec<u64> = tree
+        .range_scan(&10, &20)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
     assert_eq!(range, vec![10, 15, 20]);
 
     // Visitor form with arbitrary bounds — no allocation per element:
@@ -65,6 +69,10 @@ fn main() {
         w.join().unwrap();
     }
     assert_eq!(tree.scan_count(&1_000, &5_999), 4_000);
-    println!("final size: {} keys across phases 0..{}", tree.len(), tree.phase());
+    println!(
+        "final size: {} keys across phases 0..{}",
+        tree.len(),
+        tree.phase()
+    );
     println!("quickstart OK");
 }

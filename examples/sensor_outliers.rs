@@ -38,7 +38,9 @@ fn main() {
                 let mut x = 0xC0FFEEu64.wrapping_add(id as u64);
                 let mut produced = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let noise = (x >> 33) % 200;
                     // 1-in-64 readings is a wild spike (a real outlier).
                     let value = if (x >> 20).is_multiple_of(64) {

@@ -90,7 +90,11 @@ fn scan_aborts_a_pre_handshake_delete() {
     assert!(tree.insert(2, 20));
 
     let op = paused(tree.delete_paused(&1));
-    let seen: Vec<u64> = tree.range_scan(&0, &100).into_iter().map(|(k, _)| k).collect();
+    let seen: Vec<u64> = tree
+        .range_scan(&0, &100)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
     assert_eq!(seen, vec![1, 2], "scan still sees the key: delete aborted");
     assert_eq!(op.state(), PausedState::Aborted);
     assert!(!op.resume());
@@ -129,7 +133,7 @@ fn abandoned_delete_is_completed_by_a_scan() {
     // tree in a clean state either way.
     op.abandon();
     let _ = tree.range_scan(&0, &100); // helps (aborts) the orphan
-    // The delete never committed (it was pre-handshake), so 3 is alive:
+                                       // The delete never committed (it was pre-handshake), so 3 is alive:
     assert_eq!(tree.get(&3), Some(3));
     // And the neighbourhood is fully operational:
     assert!(tree.delete(&3));

@@ -12,6 +12,11 @@
 //! * it commits iff some operation helps it before a scan closes its
 //!   phase; a scan first helps (and thereby aborts) any pre-handshake
 //!   attempt it meets, so after a scan the attempt is dead.
+//!
+//! Case counts scale with `PNBBST_TEST_ITERS` (a multiplier applied by
+//! the proptest runner, default 1) or can be overridden absolutely with
+//! `PROPTEST_CASES`; the defaults are CI-sized, `PNBBST_TEST_ITERS=50`
+//! is the deep overnight setting (see README.md).
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -198,13 +203,23 @@ fn settle_decided(
     while i < inflight.len() {
         match inflight[i].handle.state() {
             PausedState::Committed => {
-                let InFlight { handle, key, is_insert, value } = inflight.remove(i);
+                let InFlight {
+                    handle,
+                    key,
+                    is_insert,
+                    value,
+                } = inflight.remove(i);
                 settle(model, key, is_insert, value, true);
                 // Creator-side cleanup (discovers the commit).
                 assert!(handle.resume());
             }
             PausedState::Aborted => {
-                let InFlight { handle, key, is_insert, value } = inflight.remove(i);
+                let InFlight {
+                    handle,
+                    key,
+                    is_insert,
+                    value,
+                } = inflight.remove(i);
                 settle(model, key, is_insert, value, false);
                 // The creator must still reclaim the aborted subtree.
                 assert!(!handle.resume());

@@ -178,11 +178,18 @@ fn snapshot_extends_value_lifetime_but_not_forever() {
     // The snapshot still reads all 100 values — they cannot have been
     // freed while it is alive.
     assert_eq!(snap.len(), 100);
-    assert!(live.load(Ordering::SeqCst) >= 100, "snapshot values freed early");
+    assert!(
+        live.load(Ordering::SeqCst) >= 100,
+        "snapshot values freed early"
+    );
     drop(snap);
     drop(tree);
     drain_epochs_until(&live, 0);
-    assert_eq!(live.load(Ordering::SeqCst), 0, "values leaked after snapshot drop");
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "values leaked after snapshot drop"
+    );
 }
 
 #[test]

@@ -14,6 +14,11 @@
 //!   new key *before* deleting the old one keeps its stripe at C or C+1
 //!   keys in every linearizable snapshot.
 //! * **Scan termination under churn** (wait-freedom smoke test).
+//!
+//! Iteration counts scale with the `PNBBST_TEST_ITERS` environment
+//! variable (a multiplier, default 1): the defaults finish in seconds
+//! for CI, while e.g. `PNBBST_TEST_ITERS=50` is the "deep" overnight
+//! setting (see README.md).
 
 use pnb_bst::PnbBst;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,11 +32,21 @@ fn threads() -> usize {
         .min(8)
 }
 
+/// `n` scaled by the `PNBBST_TEST_ITERS` multiplier (default 1).
+fn scaled(n: u64) -> u64 {
+    let scale = std::env::var("PNBBST_TEST_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    n.saturating_mul(scale)
+}
+
 #[test]
 fn disjoint_stripes_are_exact() {
     let tree = Arc::new(PnbBst::<u64, u64>::new());
     let nthreads = threads() as u64;
-    let per = 2_000u64;
+    let per = scaled(2_000);
     let handles: Vec<_> = (0..nthreads)
         .map(|t| {
             let tree = Arc::clone(&tree);
@@ -63,7 +78,7 @@ fn contended_single_key_has_one_winner() {
     // delete may win per round.
     let tree = Arc::new(PnbBst::<u64, usize>::new());
     let nthreads = threads();
-    for round in 0..200u64 {
+    for round in 0..scaled(200) {
         let ins_wins: usize = {
             let handles: Vec<_> = (0..nthreads)
                 .map(|t| {
@@ -92,7 +107,7 @@ fn contended_single_key_has_one_winner() {
 fn scans_observe_prefixes_of_a_sequential_writer() {
     let tree = Arc::new(PnbBst::<u64, u64>::new());
     let done = Arc::new(AtomicBool::new(false));
-    let n = 3_000u64;
+    let n = scaled(3_000);
 
     let writer = {
         let tree = Arc::clone(&tree);
@@ -177,7 +192,7 @@ fn sliding_window_cardinality_invariant() {
         let done = Arc::clone(&done);
         thread::spawn(move || {
             let mut checked = 0usize;
-            for _ in 0..300 {
+            for _ in 0..scaled(300) {
                 for w in 0..nwriters {
                     let base = w * stripe;
                     let count = tree.scan_count(&base, &(base + stripe - 1));
@@ -210,7 +225,7 @@ fn sliding_window_cardinality_invariant() {
 #[test]
 fn deletions_leave_suffixes_for_scans() {
     // A writer deletes 0,1,2,... in order; scans must see suffixes.
-    let n = 2_000u64;
+    let n = scaled(2_000);
     let tree = Arc::new(PnbBst::<u64, u64>::new());
     for k in 0..n {
         tree.insert(k, k);
@@ -256,7 +271,7 @@ fn mixed_churn_with_scans_and_snapshots() {
     // once, then verify against per-stripe recomputation at quiescence.
     let tree = Arc::new(PnbBst::<u64, u64>::new());
     let nthreads = threads() as u64;
-    let ops = 4_000u64;
+    let ops = scaled(4_000);
     let handles: Vec<_> = (0..nthreads)
         .map(|t| {
             let tree = Arc::clone(&tree);
@@ -264,7 +279,9 @@ fn mixed_churn_with_scans_and_snapshots() {
                 let base = t * 100_000;
                 let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
                 for i in 0..ops {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let k = base + (x >> 40) % 512;
                     match x % 10 {
                         0..=3 => {
@@ -324,7 +341,7 @@ fn scan_completes_under_sustained_update_load() {
         })
         .collect();
 
-    for _ in 0..50 {
+    for _ in 0..scaled(50) {
         let scan = tree.range_scan(&0, &8_192);
         // The even keys are permanent; every scan must contain them all.
         let evens = scan.iter().filter(|(k, _)| k % 2 == 0).count();

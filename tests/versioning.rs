@@ -51,7 +51,11 @@ fn older_versions_are_immune_to_later_updates() {
         t.insert(k, k + 1000); // reinsert with different values
     }
 
-    assert_eq!(snap.to_vec(), before, "T_i must be frozen for i < later seqs");
+    assert_eq!(
+        snap.to_vec(),
+        before,
+        "T_i must be frozen for i < later seqs"
+    );
     // And repeated reads are stable (idempotent helping).
     assert_eq!(snap.to_vec(), before);
     assert_eq!(snap.len(), 50);
@@ -136,6 +140,7 @@ fn figure1_delete_copies_sibling() {
         t.insert(k, k);
     }
     let snap = t.snapshot(); // pins the version before the delete
+
     // Delete 25: its sibling in the tree is an internal subtree
     // (containing 50..90 side structure depends on shape, but the
     // sibling of the leaf 25's parent region is internal).

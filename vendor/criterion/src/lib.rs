@@ -1,0 +1,253 @@
+//! Offline shim for `criterion`: the API surface this workspace's bench
+//! targets use (`Criterion::benchmark_group`, `BenchmarkGroup` settings,
+//! `Bencher::{iter, iter_custom}`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros).
+//!
+//! Measurement is intentionally lightweight: each benchmark runs a short
+//! warm-up followed by `sample_size` timed samples of one batch each, and
+//! prints `name ... median time` lines. There is no statistics engine,
+//! no HTML report, and no regression baseline — the benches compile and
+//! produce usable relative numbers, which is what the offline CI needs
+//! (`cargo bench --no-run` for the compile gate, `cargo bench` for a
+//! quick local look).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver handed to bench closures.
+pub struct Bencher {
+    sampled: Vec<Duration>,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            sampled: Vec::new(),
+            iters_per_sample: 1,
+            samples,
+        }
+    }
+
+    /// Time `f`, called once per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: aim for samples of at least ~1ms.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.iters_per_sample = per_sample as u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.sampled
+                .push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Time a custom batch: `f(iters)` must return the elapsed time of
+    /// `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.iters_per_sample = 1;
+        for _ in 0..self.samples {
+            self.sampled.push(f(1));
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.sampled.is_empty() {
+            return Duration::ZERO;
+        }
+        self.sampled.sort_unstable();
+        self.sampled[self.sampled.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warm-up is calibrated
+    /// per benchmark instead.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim measures a fixed number
+    /// of samples instead of a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id, b.median());
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id, b.median());
+        self
+    }
+
+    /// Finish the group (report flushing is immediate in the shim).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &BenchmarkId, median: Duration) {
+        let mut line = format!(
+            "{}/{:<40} median {:>12.3?}",
+            self.name,
+            id.to_string(),
+            median
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                let _ = write!(line, "  ({:.1} Melem/s)", n as f64 / secs / 1e6);
+            }
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Opaque value barrier (re-export for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a user may also filter by
+            // name — the shim runs everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("custom", 2), &5u64, |b, &x| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_nanos(x)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

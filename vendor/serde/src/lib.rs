@@ -1,0 +1,9 @@
+//! Offline shim for `serde`: a marker `Serialize` trait plus the derive.
+//! This workspace uses `Serialize` only as a derived marker on report
+//! structs (no serializer backend is vendored), so the trait carries no
+//! methods; swapping in real serde requires no source changes.
+
+pub use serde_derive::Serialize;
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}

@@ -1,0 +1,32 @@
+//! Offline shim for `serde_derive`: a dependency-free `Serialize` derive
+//! that emits a marker-trait impl. Parses just enough of the item to find
+//! its name; generic types are not supported (none in this workspace
+//! derive `Serialize`).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive the (marker) `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input).expect("Serialize derive: could not find item name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("Serialize derive: generated impl failed to parse")
+}
+
+/// The identifier following the first `struct` / `enum` keyword.
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_keyword {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
