@@ -12,7 +12,7 @@ use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
 
 const OPS_PER_THREAD: u64 = 10_000;
 
-fn bench_structure(c: &mut Criterion, map: &dyn ConcurrentMap, key_range: u64) {
+fn bench_structure<M: ConcurrentMap>(c: &mut Criterion, map: &M, key_range: u64) {
     let mut group = c.benchmark_group(format!("e1_update_only/range_{key_range}"));
     group
         .sample_size(10)

@@ -10,11 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pnbbst_bench::adapters::{Pnb, Rw};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use workload::{prefill, ConcurrentMap, KeyDist};
+use workload::{prefill, ConcurrentMap, KeyDist, MapSession};
 
 const KEY_RANGE: u64 = 100_000;
 
-fn bench_scans(c: &mut Criterion, map: &dyn ConcurrentMap) {
+fn bench_scans<M: ConcurrentMap>(c: &mut Criterion, map: &M) {
     let mut group = c.benchmark_group("e4_rq_width");
     group
         .sample_size(10)
@@ -30,23 +30,34 @@ fn bench_scans(c: &mut Criterion, map: &dyn ConcurrentMap) {
             let stop = AtomicBool::new(false);
             std::thread::scope(|s| {
                 s.spawn(|| {
+                    let mut session = map.pin();
                     let mut x = 0x1234_5678u64;
+                    let mut n = 0u32;
                     while !stop.load(Ordering::Relaxed) {
                         x ^= x << 13;
                         x ^= x >> 7;
                         x ^= x << 17;
                         let k = x % KEY_RANGE;
                         if x & 1 == 0 {
-                            map.insert(k, k);
+                            session.insert(k, k);
                         } else {
-                            map.delete(&k);
+                            session.delete(&k);
+                        }
+                        n = n.wrapping_add(1);
+                        if n.is_multiple_of(64) {
+                            session.refresh();
                         }
                     }
                 });
+                let mut session = map.pin();
                 let mut lo = 0u64;
                 b.iter(|| {
                     lo = (lo + 7919) % (KEY_RANGE - width);
-                    std::hint::black_box(map.range_scan(&lo, &(lo + width - 1)))
+                    let hits = session.range_scan(&lo, &(lo + width - 1));
+                    // Re-pin between scans so the churner's garbage can
+                    // be reclaimed during the measurement.
+                    session.refresh();
+                    std::hint::black_box(hits)
                 });
                 stop.store(true, Ordering::Relaxed);
             });

@@ -7,12 +7,35 @@
 //! node *copy* on every delete (NB-BST relinks the sibling instead).
 //! The paper's design goal is that this is a modest constant factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion};
 use pnbbst_bench::adapters::{Nb, Pnb};
 use std::time::Duration;
-use workload::ConcurrentMap;
+use workload::{ConcurrentMap, MapSession};
 
 const N: u64 = 10_000;
+
+/// insert+delete churn through a pinned session (the structures' hot
+/// path: no per-op guard).
+fn churn<M: ConcurrentMap>(group: &mut BenchmarkGroup<'_>, map: &M) {
+    let mut session = map.pin();
+    for k in 0..N {
+        session.insert(k * 2, k); // even keys resident
+    }
+    let mut k = 1u64;
+    let mut n = 0u32;
+    group.bench_function(BenchmarkId::new(map.name(), "odd_key_churn"), |b| {
+        b.iter(|| {
+            k = (k + 2) % (2 * N);
+            let kk = k | 1;
+            std::hint::black_box(session.insert(kk, kk));
+            std::hint::black_box(session.delete(&kk));
+            n = n.wrapping_add(1);
+            if n.is_multiple_of(64) {
+                session.refresh();
+            }
+        })
+    });
+}
 
 /// insert+delete round trip at stationary size.
 fn bench_update_pair(c: &mut Criterion) {
@@ -22,21 +45,10 @@ fn bench_update_pair(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Nb::new())];
-    for map in &structures {
-        for k in 0..N {
-            map.insert(k * 2, k); // even keys resident
-        }
-        let mut k = 1u64;
-        group.bench_function(BenchmarkId::new(map.name(), "odd_key_churn"), |b| {
-            b.iter(|| {
-                k = (k + 2) % (2 * N);
-                let kk = k | 1;
-                std::hint::black_box(map.insert(kk, kk));
-                std::hint::black_box(map.delete(&kk));
-            })
-        });
-    }
+    let pnb = Pnb::new();
+    churn(&mut group, &pnb);
+    let nb = Nb::new();
+    churn(&mut group, &nb);
 
     // Sequential floor.
     let mut seq = lock_bst::seq::SeqBst::<u64, u64>::new();
@@ -55,6 +67,27 @@ fn bench_update_pair(c: &mut Criterion) {
     group.finish();
 }
 
+fn finds<M: ConcurrentMap>(group: &mut BenchmarkGroup<'_>, map: &M) {
+    let mut session = map.pin();
+    for k in 0..N {
+        session.insert(k, k);
+    }
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new(map.name(), "hit"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            std::hint::black_box(session.get(&k))
+        })
+    });
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new(map.name(), "miss"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % N;
+            std::hint::black_box(session.get(&(k + N)))
+        })
+    });
+}
+
 fn bench_find(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_persistence_cost/find");
     group
@@ -62,26 +95,10 @@ fn bench_find(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Nb::new())];
-    for map in &structures {
-        for k in 0..N {
-            map.insert(k, k);
-        }
-        let mut k = 0u64;
-        group.bench_function(BenchmarkId::new(map.name(), "hit"), |b| {
-            b.iter(|| {
-                k = (k + 7919) % N;
-                std::hint::black_box(map.get(&k))
-            })
-        });
-        let mut k = 0u64;
-        group.bench_function(BenchmarkId::new(map.name(), "miss"), |b| {
-            b.iter(|| {
-                k = (k + 7919) % N;
-                std::hint::black_box(map.get(&(k + N)))
-            })
-        });
-    }
+    let pnb = Pnb::new();
+    finds(&mut group, &pnb);
+    let nb = Nb::new();
+    finds(&mut group, &nb);
 
     let mut seq = lock_bst::seq::SeqBst::<u64, u64>::new();
     for k in 0..N {

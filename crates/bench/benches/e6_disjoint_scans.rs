@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnbbst_bench::adapters::Pnb;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use workload::{prefill, ConcurrentMap};
+use workload::{prefill, ConcurrentMap, MapSession};
 
 const KEY_RANGE: u64 = 100_000;
 // Updaters churn only in [0, HOT); the cold slice [COLD_LO, COLD_HI] is
@@ -45,21 +45,32 @@ fn e6(c: &mut Criterion) {
                     let stop = &stop;
                     let map = &map;
                     s.spawn(move || {
+                        let mut session = map.pin();
                         let mut x = 0xABCD_EF01u64 ^ t;
+                        let mut n = 0u32;
                         while !stop.load(Ordering::Relaxed) {
                             x ^= x << 13;
                             x ^= x >> 7;
                             x ^= x << 17;
                             let k = x % HOT;
                             if x & 1 == 0 {
-                                map.insert(k, k);
+                                session.insert(k, k);
                             } else {
-                                map.delete(&k);
+                                session.delete(&k);
+                            }
+                            n = n.wrapping_add(1);
+                            if n.is_multiple_of(64) {
+                                session.refresh();
                             }
                         }
                     });
                 }
-                b.iter(|| std::hint::black_box(map.range_scan(&lo, &hi)));
+                let mut session = map.pin();
+                b.iter(|| {
+                    let hits = session.range_scan(&lo, &hi);
+                    session.refresh();
+                    std::hint::black_box(hits)
+                });
                 stop.store(true, Ordering::Relaxed);
             });
         });

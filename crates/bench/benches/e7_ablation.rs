@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pnbbst_bench::adapters::Pnb;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, MapSession, Mix};
 
 const KEY_RANGE: u64 = 10_000;
 const OPS_PER_THREAD: u64 = 5_000;
@@ -45,10 +45,12 @@ fn e7(c: &mut Criterion) {
                     let stop = &stop;
                     let map = &map;
                     s.spawn(move || {
+                        let mut session = map.pin();
                         let mut lo = 0u64;
                         while !stop.load(Ordering::Relaxed) {
                             lo = (lo + 997) % (KEY_RANGE - 128);
-                            std::hint::black_box(map.range_scan(&lo, &(lo + 127)));
+                            std::hint::black_box(session.range_scan(&lo, &(lo + 127)));
+                            session.refresh();
                             if pause_us > 0 {
                                 std::thread::sleep(Duration::from_micros(pause_us));
                             }

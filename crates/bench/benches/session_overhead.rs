@@ -1,0 +1,126 @@
+//! Session vs per-call API: what the pinned [`pnb_bst::Handle`] buys on
+//! the hot path.
+//!
+//! The compat methods pin and drop an epoch guard per operation; the
+//! handle pins once per session. Under the E2 (search-dominated) shape
+//! — where the tree work per operation is smallest — the guard churn is
+//! the largest *relative* overhead, so that is where the session API
+//! shows its win. The E1 (update-only) shape is the no-regression
+//! check.
+//!
+//! Expected numbers with the *vendored* epoch shim: a modest E2 win and
+//! parity (within the shim-criterion's ~5% noise) on E1 — the shim's
+//! `pin()` is a bare thread-local epoch store, so there is little churn
+//! to amortize, and holding a pin across a 64-op update batch delays
+//! node reuse slightly (see DESIGN.md §3.4 on the shim collector).
+//! With upstream crossbeam-epoch swapped in (full SeqCst fence per pin)
+//! the session win grows; this bench exists so that swap — and any
+//! later change to the hot path — has a trajectory to diff against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnb_bst::PnbBst;
+use std::time::Duration;
+
+const N: u64 = 10_000;
+
+/// E2-shaped single-thread loop: 80% find / 10% insert / 10% delete.
+fn e2_step_per_op(tree: &PnbBst<u64, u64>, x: &mut u64) {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+    let k = (*x >> 33) % N;
+    match *x % 10 {
+        0 => {
+            std::hint::black_box(tree.insert(k, k));
+        }
+        1 => {
+            std::hint::black_box(tree.delete(&k));
+        }
+        _ => {
+            std::hint::black_box(tree.get(&k));
+        }
+    }
+}
+
+fn e2_step_session(h: &pnb_bst::Handle<'_, u64, u64>, x: &mut u64) {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+    let k = (*x >> 33) % N;
+    match *x % 10 {
+        0 => {
+            std::hint::black_box(h.insert(k, k));
+        }
+        1 => {
+            std::hint::black_box(h.delete(&k));
+        }
+        _ => {
+            std::hint::black_box(h.get(&k));
+        }
+    }
+}
+
+fn bench_session_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_overhead");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Fresh, identically prefilled tree per measurement so neither
+    // variant inherits the other's churned shape or deferred garbage.
+    // Shuffled-ish prefill (odd stride): ascending insertion would
+    // degenerate the unbalanced leaf-oriented BST into an O(n) spine.
+    fn fresh_tree() -> PnbBst<u64, u64> {
+        let tree = PnbBst::new();
+        for i in 0..N / 2 {
+            let k = (i.wrapping_mul(0x9E37 | 1) % N) & !1;
+            tree.insert(k, k);
+        }
+        tree
+    }
+
+    for (label, update_only) in [("e2_read_mostly", false), ("e1_update_only", true)] {
+        let tree = fresh_tree();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        group.bench_function(BenchmarkId::new("per_op_pin", label), |b| {
+            b.iter(|| {
+                if update_only {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let k = (x >> 33) % N;
+                    if x & 1 == 0 {
+                        std::hint::black_box(tree.insert(k, k));
+                    } else {
+                        std::hint::black_box(tree.delete(&k));
+                    }
+                } else {
+                    e2_step_per_op(&tree, &mut x);
+                }
+            })
+        });
+
+        let tree = fresh_tree();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut h = tree.pin();
+        let mut n = 0u32;
+        group.bench_function(BenchmarkId::new("pinned_session", label), |b| {
+            b.iter(|| {
+                if update_only {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let k = (x >> 33) % N;
+                    if x & 1 == 0 {
+                        std::hint::black_box(h.insert(k, k));
+                    } else {
+                        std::hint::black_box(h.delete(&k));
+                    }
+                } else {
+                    e2_step_session(&h, &mut x);
+                }
+                n = n.wrapping_add(1);
+                if n.is_multiple_of(64) {
+                    h.refresh();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_overhead);
+criterion_main!(benches);

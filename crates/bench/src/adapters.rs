@@ -1,7 +1,14 @@
 //! [`ConcurrentMap`] adapters for every structure under test, so the
 //! workload driver and all experiments are structure-agnostic.
+//!
+//! Each adapter pairs the map with a pinned session type (epoch handle
+//! for the trees, plain borrow for the locked maps) and a typed
+//! capability declaration ([`Caps`]): NB-BST declares
+//! `range_scan: false` instead of panicking from an `unreachable!` when
+//! a misconfigured mix reaches it — the drivers reject such mixes with a
+//! [`workload::CapabilityError`] before any operation runs.
 
-use workload::ConcurrentMap;
+use workload::{CapabilityError, Caps, ConcurrentMap, MapSession, Mix};
 
 /// PNB-BST (the paper's structure).
 #[derive(Default)]
@@ -14,25 +21,46 @@ impl Pnb {
     }
 }
 
-impl ConcurrentMap for Pnb {
-    fn insert(&self, k: u64, v: u64) -> bool {
+/// Pinned session on a [`Pnb`] (wraps `pnb_bst::Handle`).
+pub struct PnbSession<'a>(pnb_bst::Handle<'a, u64, u64>);
+
+impl MapSession for PnbSession<'_> {
+    fn insert(&mut self, k: u64, v: u64) -> bool {
         self.0.insert(k, v)
     }
-    fn delete(&self, k: &u64) -> bool {
+    fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+        self.0.upsert(k, v)
+    }
+    fn delete(&mut self, k: &u64) -> bool {
         self.0.delete(k)
     }
-    fn get(&self, k: &u64) -> Option<u64> {
+    fn get(&mut self, k: &u64) -> Option<u64> {
         self.0.get(k)
     }
-    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
         self.0.scan_count(lo, hi)
+    }
+    fn refresh(&mut self) {
+        self.0.refresh()
+    }
+}
+
+impl ConcurrentMap for Pnb {
+    type Session<'a> = PnbSession<'a>;
+    fn pin(&self) -> PnbSession<'_> {
+        PnbSession(self.0.pin())
+    }
+    fn capabilities(&self) -> Caps {
+        Caps::all()
     }
     fn name(&self) -> &'static str {
         "pnb-bst"
     }
 }
 
-/// NB-BST (Ellen et al., the non-persistent substrate — no range scans).
+/// NB-BST (Ellen et al., the non-persistent substrate — no range scans,
+/// no atomic upsert, no snapshots; exactly what [`Caps::point_ops`]
+/// declares).
 #[derive(Default)]
 pub struct Nb(pub nb_bst::NbBst<u64, u64>);
 
@@ -43,21 +71,55 @@ impl Nb {
     }
 }
 
-impl ConcurrentMap for Nb {
-    fn insert(&self, k: u64, v: u64) -> bool {
+/// Pinned session on an [`Nb`] (wraps `nb_bst::Handle`).
+pub struct NbSession<'a>(nb_bst::Handle<'a, u64, u64>);
+
+impl MapSession for NbSession<'_> {
+    fn insert(&mut self, k: u64, v: u64) -> bool {
         self.0.insert(k, v)
     }
-    fn delete(&self, k: &u64) -> bool {
+    fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+        // Best-effort emulation (delete-then-insert): NOT atomic — an
+        // observer can see the key absent mid-upsert, which is why `Nb`
+        // declares `upsert: false` and no driver mix ever reaches this.
+        let prev = self.0.remove(&k);
+        self.0.insert(k, v);
+        prev
+    }
+    fn delete(&mut self, k: &u64) -> bool {
         self.0.delete(k)
     }
-    fn get(&self, k: &u64) -> Option<u64> {
+    fn get(&mut self, k: &u64) -> Option<u64> {
         self.0.get(k)
     }
-    fn range_scan(&self, _lo: &u64, _hi: &u64) -> usize {
-        unreachable!("NB-BST has no linearizable range scan")
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
+        // Unreachable by construction: `Caps::point_ops` keeps range
+        // mixes away at configuration time — loudly so in debug builds.
+        debug_assert!(
+            false,
+            "range_scan driven on nb-bst despite Caps {{ range_scan: false }}"
+        );
+        // If reached anyway, a bound-respecting quiescent count is the
+        // most honest non-linearizable answer.
+        self.0
+            .tree()
+            .to_vec_quiescent()
+            .into_iter()
+            .filter(|(k, _)| k >= lo && k <= hi)
+            .count()
     }
-    fn supports_range_scan(&self) -> bool {
-        false
+    fn refresh(&mut self) {
+        self.0.refresh()
+    }
+}
+
+impl ConcurrentMap for Nb {
+    type Session<'a> = NbSession<'a>;
+    fn pin(&self) -> NbSession<'_> {
+        NbSession(self.0.pin())
+    }
+    fn capabilities(&self) -> Caps {
+        Caps::point_ops()
     }
     fn name(&self) -> &'static str {
         "nb-bst"
@@ -75,18 +137,38 @@ impl Rw {
     }
 }
 
-impl ConcurrentMap for Rw {
-    fn insert(&self, k: u64, v: u64) -> bool {
+/// Session on an [`Rw`] — no guard; a plain borrow.
+pub struct RwSession<'a>(&'a lock_bst::RwLockTree<u64, u64>);
+
+impl MapSession for RwSession<'_> {
+    fn insert(&mut self, k: u64, v: u64) -> bool {
         self.0.insert(k, v)
     }
-    fn delete(&self, k: &u64) -> bool {
+    fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+        self.0.upsert(k, v)
+    }
+    fn delete(&mut self, k: &u64) -> bool {
         self.0.delete(k)
     }
-    fn get(&self, k: &u64) -> Option<u64> {
+    fn get(&mut self, k: &u64) -> Option<u64> {
         self.0.get(k)
     }
-    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
         self.0.scan_count(lo, hi)
+    }
+}
+
+impl ConcurrentMap for Rw {
+    type Session<'a> = RwSession<'a>;
+    fn pin(&self) -> RwSession<'_> {
+        RwSession(&self.0)
+    }
+    fn capabilities(&self) -> Caps {
+        Caps {
+            range_scan: true,
+            upsert: true,
+            snapshot: false,
+        }
     }
     fn name(&self) -> &'static str {
         "rwlock-btreemap"
@@ -104,78 +186,240 @@ impl Mx {
     }
 }
 
-impl ConcurrentMap for Mx {
-    fn insert(&self, k: u64, v: u64) -> bool {
+/// Session on an [`Mx`] — no guard; a plain borrow.
+pub struct MxSession<'a>(&'a lock_bst::MutexTree<u64, u64>);
+
+impl MapSession for MxSession<'_> {
+    fn insert(&mut self, k: u64, v: u64) -> bool {
         self.0.insert(k, v)
     }
-    fn delete(&self, k: &u64) -> bool {
+    fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+        self.0.upsert(k, v)
+    }
+    fn delete(&mut self, k: &u64) -> bool {
         self.0.delete(k)
     }
-    fn get(&self, k: &u64) -> Option<u64> {
+    fn get(&mut self, k: &u64) -> Option<u64> {
         self.0.get(k)
     }
-    fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
         self.0.scan_count(lo, hi)
+    }
+}
+
+impl ConcurrentMap for Mx {
+    type Session<'a> = MxSession<'a>;
+    fn pin(&self) -> MxSession<'_> {
+        MxSession(&self.0)
+    }
+    fn capabilities(&self) -> Caps {
+        Caps {
+            range_scan: true,
+            upsert: true,
+            snapshot: false,
+        }
     }
     fn name(&self) -> &'static str {
         "mutex-btreemap"
     }
 }
 
-/// Build one instance of every structure that supports the given mix.
-pub fn all_structures(need_ranges: bool) -> Vec<Box<dyn ConcurrentMap>> {
-    let mut v: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new())];
-    if !need_ranges {
-        v.push(Box::new(Nb::new()));
+/// One of the structures under test, for code that iterates the roster
+/// (the session-typed [`ConcurrentMap`] is not object-safe, so the
+/// experiments dispatch through this enum instead of `dyn`).
+// The variants intentionally embed the whole structure (a few cache
+// lines for the padded counter): a handful of roster entries exist per
+// experiment, so the size imbalance is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum Structure {
+    /// The paper's tree.
+    Pnb(Pnb),
+    /// The PODC 2010 baseline.
+    Nb(Nb),
+    /// RwLock'd BTreeMap.
+    Rw(Rw),
+    /// Mutex'd BTreeMap.
+    Mx(Mx),
+}
+
+/// Dispatch a generic closure-like body over the concrete map inside a
+/// [`Structure`] (crate-visible so the experiments module can reuse it
+/// for its own generic helpers).
+macro_rules! dispatch {
+    ($self:expr, $m:ident => $body:expr) => {
+        match $self {
+            $crate::adapters::Structure::Pnb($m) => $body,
+            $crate::adapters::Structure::Nb($m) => $body,
+            $crate::adapters::Structure::Rw($m) => $body,
+            $crate::adapters::Structure::Mx($m) => $body,
+        }
+    };
+}
+pub(crate) use dispatch;
+
+impl Structure {
+    /// Structure name for reports.
+    pub fn name(&self) -> &'static str {
+        dispatch!(self, m => m.name())
     }
-    v.push(Box::new(Rw::new()));
-    v.push(Box::new(Mx::new()));
-    v
+
+    /// Declared capabilities.
+    pub fn capabilities(&self) -> Caps {
+        dispatch!(self, m => m.capabilities())
+    }
+
+    /// A fresh instance of the same structure (experiments that sweep a
+    /// parameter use one instance per cell).
+    pub fn fresh(&self) -> Structure {
+        match self {
+            Structure::Pnb(_) => Structure::Pnb(Pnb::new()),
+            Structure::Nb(_) => Structure::Nb(Nb::new()),
+            Structure::Rw(_) => Structure::Rw(Rw::new()),
+            Structure::Mx(_) => Structure::Mx(Mx::new()),
+        }
+    }
+
+    /// [`workload::run_throughput`] on the wrapped map.
+    pub fn run_throughput(
+        &self,
+        cfg: &workload::RunConfig,
+    ) -> Result<workload::Measurement, CapabilityError> {
+        dispatch!(self, m => workload::run_throughput(m, cfg))
+    }
+
+    /// [`workload::run_scan_updater`] on the wrapped map.
+    pub fn run_scan_updater(
+        &self,
+        cfg: &workload::ScanUpdaterConfig,
+    ) -> Result<workload::ScanUpdaterMeasurement, CapabilityError> {
+        dispatch!(self, m => workload::run_scan_updater(m, cfg))
+    }
+
+    /// [`workload::run_latency`] on the wrapped map.
+    pub fn run_latency(
+        &self,
+        threads: usize,
+        duration: std::time::Duration,
+        key_dist: &workload::KeyDist,
+        mix: Mix,
+        seed: u64,
+    ) -> Result<workload::LatencyReport, CapabilityError> {
+        dispatch!(self, m => workload::run_latency(m, threads, duration, key_dist, mix, seed))
+    }
+}
+
+/// Build one instance of every structure whose declared capabilities
+/// cover `required` (e.g. `Caps::point_ops()` admits everything;
+/// a `range_scan` requirement excludes NB-BST).
+pub fn all_structures(required: Caps) -> Vec<Structure> {
+    let covers = |c: Caps| {
+        (!required.range_scan || c.range_scan)
+            && (!required.upsert || c.upsert)
+            && (!required.snapshot || c.snapshot)
+    };
+    [
+        Structure::Pnb(Pnb::new()),
+        Structure::Nb(Nb::new()),
+        Structure::Rw(Rw::new()),
+        Structure::Mx(Mx::new()),
+    ]
+    .into_iter()
+    .filter(|s| covers(s.capabilities()))
+    .collect()
+}
+
+/// Capability requirement implied by a mix.
+pub fn required_caps(mix: &Mix) -> Caps {
+    Caps {
+        range_scan: mix.uses_ranges(),
+        upsert: mix.uses_upserts(),
+        snapshot: false,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn drive<M: ConcurrentMap>(m: &M) {
+        let mut s = m.pin();
+        assert!(s.insert(5, 50), "{}", m.name());
+        assert!(!s.insert(5, 51), "{}", m.name());
+        assert_eq!(s.get(&5), Some(50), "{}", m.name());
+        assert!(s.delete(&5), "{}", m.name());
+        assert!(!s.delete(&5), "{}", m.name());
+        assert_eq!(s.get(&5), None, "{}", m.name());
+        s.refresh();
+    }
+
     #[test]
     fn adapters_agree_on_semantics() {
-        let maps: Vec<Box<dyn ConcurrentMap>> = vec![
-            Box::new(Pnb::new()),
-            Box::new(Nb::new()),
-            Box::new(Rw::new()),
-            Box::new(Mx::new()),
-        ];
-        for m in &maps {
-            assert!(m.insert(5, 50), "{}", m.name());
-            assert!(!m.insert(5, 51), "{}", m.name());
-            assert_eq!(m.get(&5), Some(50), "{}", m.name());
-            assert!(m.delete(&5), "{}", m.name());
-            assert!(!m.delete(&5), "{}", m.name());
-            assert_eq!(m.get(&5), None, "{}", m.name());
-        }
+        drive(&Pnb::new());
+        drive(&Nb::new());
+        drive(&Rw::new());
+        drive(&Mx::new());
+    }
+
+    fn drive_upsert<M: ConcurrentMap>(m: &M) {
+        assert!(m.capabilities().upsert, "{}", m.name());
+        let mut s = m.pin();
+        assert_eq!(s.upsert(3, 30), None, "{}", m.name());
+        assert_eq!(s.upsert(3, 31), Some(30), "{}", m.name());
+        assert_eq!(s.get(&3), Some(31), "{}", m.name());
+    }
+
+    #[test]
+    fn upsert_capable_adapters_replace() {
+        drive_upsert(&Pnb::new());
+        drive_upsert(&Rw::new());
+        drive_upsert(&Mx::new());
+        assert!(!Nb::new().capabilities().upsert);
     }
 
     #[test]
     fn range_capable_adapters_scan() {
-        let maps: Vec<Box<dyn ConcurrentMap>> = vec![
-            Box::new(Pnb::new()),
-            Box::new(Rw::new()),
-            Box::new(Mx::new()),
-        ];
-        for m in &maps {
+        fn scan<M: ConcurrentMap>(m: &M) {
+            assert!(m.capabilities().range_scan, "{}", m.name());
+            let mut s = m.pin();
             for k in 0..100 {
-                m.insert(k, k);
+                s.insert(k, k);
             }
-            assert_eq!(m.range_scan(&10, &19), 10, "{}", m.name());
-            assert!(m.supports_range_scan());
+            assert_eq!(s.range_scan(&10, &19), 10, "{}", m.name());
         }
+        scan(&Pnb::new());
+        scan(&Rw::new());
+        scan(&Mx::new());
     }
 
     #[test]
-    fn structure_roster_respects_range_support() {
-        assert_eq!(all_structures(false).len(), 4);
-        let with_ranges = all_structures(true);
+    fn structure_roster_respects_capabilities() {
+        assert_eq!(all_structures(Caps::point_ops()).len(), 4);
+        let with_ranges = all_structures(required_caps(&Mix::with_ranges(64)));
         assert_eq!(with_ranges.len(), 3);
-        assert!(with_ranges.iter().all(|m| m.supports_range_scan()));
+        assert!(with_ranges.iter().all(|s| s.capabilities().range_scan));
+        let with_upserts = all_structures(required_caps(&Mix::upsert_heavy()));
+        assert_eq!(with_upserts.len(), 3);
+        assert!(with_upserts.iter().all(|s| s.name() != "nb-bst"));
+    }
+
+    #[test]
+    fn misconfigured_mix_is_a_typed_config_error_not_a_panic() {
+        // The old adapter hit `unreachable!` mid-run; now the driver
+        // rejects the configuration before any operation executes.
+        let nb = Structure::Nb(Nb::new());
+        let cfg = workload::RunConfig::new(
+            1,
+            std::time::Duration::from_millis(10),
+            workload::KeyDist::uniform(64),
+            Mix::with_ranges(8),
+        );
+        let err = nb.run_throughput(&cfg).unwrap_err();
+        assert_eq!(
+            err,
+            CapabilityError::RangeScan {
+                structure: "nb-bst"
+            }
+        );
+        assert!(err.to_string().contains("nb-bst"));
     }
 }

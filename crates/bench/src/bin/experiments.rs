@@ -1,23 +1,47 @@
-//! Regenerate the paper-protocol experiment tables (E1–E7).
+//! Regenerate the paper-protocol experiment tables (E1–E8).
 //!
 //! ```text
 //! cargo run --release -p pnbbst-bench --bin experiments            # full sweep
 //! cargo run --release -p pnbbst-bench --bin experiments -- --quick # CI-sized
 //! cargo run --release -p pnbbst-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e7
+//! cargo run --release -p pnbbst-bench --bin experiments -- --quick --json BENCH_quick.json
 //! ```
 //!
 //! Markdown goes to stdout (pipe into EXPERIMENTS.md material); progress
-//! goes to stderr.
+//! goes to stderr; `--json <path>` additionally writes every measurement
+//! as a flat machine-readable row so CI can record `BENCH_*.json` perf
+//! trajectories across PRs.
 
-use pnbbst_bench::experiments::{self, ExpOpts};
+use pnbbst_bench::experiments::{self, ExpOpts, JsonLog};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json_path: Option<String> =
+        args.iter()
+            .position(|a| a == "--json")
+            .map(|i| match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => p.clone(),
+                _ => {
+                    eprintln!("--json requires a file path argument");
+                    std::process::exit(2);
+                }
+            });
+    let mut skip_next = false;
     let selected: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
         .collect();
     let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
@@ -28,30 +52,41 @@ fn main() {
     };
 
     let opts = ExpOpts { quick };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "## Experiment results ({} mode, {} hardware threads)\n",
         if quick { "quick" } else { "full" },
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        hw_threads
     );
 
+    let mut log = JsonLog::new();
     for exp in run_list {
         eprintln!("=== running {exp} ===");
         let section = match exp {
-            "e1" => experiments::e1(&opts),
-            "e2" => experiments::e2(&opts),
-            "e3" => experiments::e3(&opts),
-            "e4" => experiments::e4(&opts),
-            "e5" => experiments::e5(&opts),
-            "e6" => experiments::e6(&opts),
-            "e7" => experiments::e7(&opts),
-            "e8" => experiments::e8(&opts),
+            "e1" => experiments::e1(&opts, &mut log),
+            "e2" => experiments::e2(&opts, &mut log),
+            "e3" => experiments::e3(&opts, &mut log),
+            "e4" => experiments::e4(&opts, &mut log),
+            "e5" => experiments::e5(&opts, &mut log),
+            "e6" => experiments::e6(&opts, &mut log),
+            "e7" => experiments::e7(&opts, &mut log),
+            "e8" => experiments::e8(&opts, &mut log),
             other => {
                 eprintln!("unknown experiment: {other} (expected e1..e8)");
                 std::process::exit(2);
             }
         };
         println!("{section}");
+    }
+
+    if let Some(path) = json_path {
+        let doc = log.render(if quick { "quick" } else { "full" }, hw_threads);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} JSON rows to {path}", log.len());
     }
 }

@@ -1,20 +1,23 @@
-//! Experiment definitions E1–E7 (see DESIGN.md §4): each function runs
-//! one experiment family and renders a markdown section with the same
-//! rows/series the paper's evaluation protocol reports.
+//! Experiment definitions E1–E8 (see DESIGN.md §4): each function runs
+//! one experiment family, renders a markdown section with the same
+//! rows/series the paper's evaluation protocol reports, and appends
+//! machine-readable rows to a [`json::JsonLog`] so CI can record
+//! `BENCH_*.json` perf trajectories across PRs.
 //!
 //! The experiments bin (`cargo run --release -p pnbbst-bench --bin
-//! experiments`) composes these into EXPERIMENTS.md material; the
-//! Criterion benches cover the same parameter space through a
-//! time-per-fixed-batch lens.
+//! experiments`) composes these into EXPERIMENTS.md material (and, with
+//! `--json <path>`, the JSON trajectory file); the Criterion benches
+//! cover the same parameter space through a time-per-fixed-batch lens.
 
 use std::time::Duration;
 
 use workload::{
-    run_latency, run_scan_updater, run_throughput, ConcurrentMap, KeyDist, Measurement, Mix,
-    RunConfig, ScanUpdaterConfig,
+    ConcurrentMap, KeyDist, MapSession, Measurement, Mix, RunConfig, ScanUpdaterConfig,
 };
 
-use crate::adapters::{self, Nb, Pnb, Rw};
+use crate::adapters::{self, required_caps, Structure};
+
+pub use crate::json::{self, JsonLog, Val};
 
 /// Global experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -80,20 +83,45 @@ fn tput_table(title: &str, threads: &[usize], rows: &[(String, Vec<Measurement>)
     out
 }
 
+fn log_measurement(log: &mut JsonLog, exp: &str, key_range: u64, m: &Measurement) {
+    log.push(
+        exp,
+        &[
+            ("structure", Val::s(&m.name)),
+            ("threads", Val::U(m.threads as u64)),
+            ("key_range", Val::U(key_range)),
+            ("elapsed_secs", Val::F(m.elapsed_secs)),
+            ("inserts", Val::U(m.inserts)),
+            ("upserts", Val::U(m.upserts)),
+            ("deletes", Val::U(m.deletes)),
+            ("finds", Val::U(m.finds)),
+            ("scans", Val::U(m.scans)),
+            ("scanned_keys", Val::U(m.scanned_keys)),
+            ("total_ops", Val::U(m.total_ops)),
+            ("ops_per_sec", Val::F(m.ops_per_sec)),
+        ],
+    );
+}
+
 fn sweep_structures(
     opts: &ExpOpts,
     mix: Mix,
     key_range: u64,
-    need_ranges: bool,
+    exp: &str,
+    log: &mut JsonLog,
 ) -> (Vec<usize>, Vec<(String, Vec<Measurement>)>) {
     let threads = opts.threads();
     let mut rows = Vec::new();
-    for s in adapters::all_structures(need_ranges) {
+    for s in adapters::all_structures(required_caps(&mix)) {
         let mut ms = Vec::new();
         for &t in &threads {
             let cfg = RunConfig::new(t, opts.duration(), KeyDist::uniform(key_range), mix);
             eprintln!("  {} / {} threads / range {key_range} ...", s.name(), t);
-            ms.push(run_throughput(s.as_ref(), &cfg));
+            let m = s
+                .run_throughput(&cfg)
+                .expect("roster is filtered by capability");
+            log_measurement(log, exp, key_range, &m);
+            ms.push(m);
         }
         rows.push((s.name().to_string(), ms));
     }
@@ -101,10 +129,10 @@ fn sweep_structures(
 }
 
 /// E1: update-only scaling (50% ins / 50% del), per key range.
-pub fn e1(opts: &ExpOpts) -> String {
+pub fn e1(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let mut out = String::from("\n### E1 — Update-only scaling (50i/50d)\n");
     for kr in opts.key_ranges() {
-        let (threads, rows) = sweep_structures(opts, Mix::update_only(), kr, false);
+        let (threads, rows) = sweep_structures(opts, Mix::update_only(), kr, "e1", log);
         out.push_str(&tput_table(
             &format!("key range 10^{:.0} ({kr})", (kr as f64).log10()),
             &threads,
@@ -115,10 +143,10 @@ pub fn e1(opts: &ExpOpts) -> String {
 }
 
 /// E2: search-dominated scaling (10i/10d/80f), per key range.
-pub fn e2(opts: &ExpOpts) -> String {
+pub fn e2(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let mut out = String::from("\n### E2 — Search-dominated scaling (10i/10d/80f)\n");
     for kr in opts.key_ranges() {
-        let (threads, rows) = sweep_structures(opts, Mix::read_mostly(), kr, false);
+        let (threads, rows) = sweep_structures(opts, Mix::read_mostly(), kr, "e2", log);
         out.push_str(&tput_table(
             &format!("key range 10^{:.0} ({kr})", (kr as f64).log10()),
             &threads,
@@ -129,12 +157,12 @@ pub fn e2(opts: &ExpOpts) -> String {
 }
 
 /// E3: range-query mix scaling (25i/25d/40f/10rq, width 100).
-pub fn e3(opts: &ExpOpts) -> String {
+pub fn e3(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let mut out = String::from(
         "\n### E3 — Mixed workload with range queries (25i/25d/40f/10rq, width 100)\n",
     );
     for kr in opts.key_ranges() {
-        let (threads, rows) = sweep_structures(opts, Mix::with_ranges(100), kr, true);
+        let (threads, rows) = sweep_structures(opts, Mix::with_ranges(100), kr, "e3", log);
         out.push_str(&tput_table(
             &format!("key range 10^{:.0} ({kr})", (kr as f64).log10()),
             &threads,
@@ -145,7 +173,7 @@ pub fn e3(opts: &ExpOpts) -> String {
 }
 
 /// E4: range-width sweep under a scan-heavy mix (10i/10d/30f/50rq).
-pub fn e4(opts: &ExpOpts) -> String {
+pub fn e4(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
     let widths: Vec<u64> = if opts.quick {
         vec![10, 100, 1_000]
@@ -166,16 +194,15 @@ pub fn e4(opts: &ExpOpts) -> String {
     }
     out.push('\n');
 
-    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Rw::new())];
-    for s in structures {
+    let prototypes = [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::Rw(adapters::Rw::new()),
+    ];
+    for proto in &prototypes {
         let mut cells = Vec::new();
         for &w in &widths {
             // Fresh instance per cell so widths don't contaminate.
-            let fresh: Box<dyn ConcurrentMap> = if s.name() == "pnb-bst" {
-                Box::new(Pnb::new())
-            } else {
-                Box::new(Rw::new())
-            };
+            let fresh = proto.fresh();
             let cfg = RunConfig::new(
                 threads,
                 opts.duration(),
@@ -183,14 +210,15 @@ pub fn e4(opts: &ExpOpts) -> String {
                 Mix::scan_heavy(w),
             );
             eprintln!("  {} / width {w} ...", fresh.name());
-            let m = run_throughput(fresh.as_ref(), &cfg);
+            let m = fresh.run_throughput(&cfg).expect("range-capable roster");
+            log_measurement(log, "e4", kr, &m);
             cells.push(format!(
                 "{} ({} keys/scan)",
                 fmt_tput(m.ops_per_sec),
                 m.scanned_keys.checked_div(m.scans).unwrap_or(0)
             ));
         }
-        out.push_str(&format!("| {} |", s.name()));
+        out.push_str(&format!("| {} |", proto.name()));
         for c in cells {
             out.push_str(&format!(" {c} |"));
         }
@@ -201,7 +229,7 @@ pub fn e4(opts: &ExpOpts) -> String {
 
 /// E5: cost of persistence — single-threaded op latency, PNB vs NB vs
 /// sequential floor.
-pub fn e5(opts: &ExpOpts) -> String {
+pub fn e5(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let n: u64 = if opts.quick { 10_000 } else { 50_000 };
     let reps: u64 = if opts.quick { 3 } else { 10 };
     let mut out = format!(
@@ -210,9 +238,12 @@ pub fn e5(opts: &ExpOpts) -> String {
     );
 
     // Concurrent structures through the adapter interface.
-    let cases: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Nb::new())];
-    for s in cases {
-        let (ins, fnd, del) = latency_triple(s.as_ref(), n, reps);
+    for s in [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::Nb(adapters::Nb::new()),
+    ] {
+        let (ins, fnd, del) = adapters::dispatch!(&s, m => latency_triple(m, n, reps));
+        log_e5(log, s.name(), n, ins, fnd, del);
         out.push_str(&format!(
             "| {} | {ins:.0} | {fnd:.0} | {del:.0} |\n",
             s.name()
@@ -221,17 +252,32 @@ pub fn e5(opts: &ExpOpts) -> String {
 
     // Sequential floor (needs &mut, measured directly).
     let (ins, fnd, del) = seq_latency_triple(n, reps);
+    log_e5(log, "seq-bst", n, ins, fnd, del);
     out.push_str(&format!(
         "| seq-bst (floor) | {ins:.0} | {fnd:.0} | {del:.0} |\n"
     ));
     out
 }
 
-fn latency_triple(map: &dyn ConcurrentMap, n: u64, reps: u64) -> (f64, f64, f64) {
+fn log_e5(log: &mut JsonLog, name: &str, key_space: u64, ins: f64, fnd: f64, del: f64) {
+    log.push(
+        "e5",
+        &[
+            ("structure", Val::s(name)),
+            ("key_space", Val::U(key_space)),
+            ("insert_ns", Val::F(ins)),
+            ("find_ns", Val::F(fnd)),
+            ("delete_ns", Val::F(del)),
+        ],
+    );
+}
+
+fn latency_triple<M: ConcurrentMap>(map: &M, n: u64, reps: u64) -> (f64, f64, f64) {
     use std::time::Instant;
     let mut ins_ns = 0.0;
     let mut find_ns = 0.0;
     let mut del_ns = 0.0;
+    let mut session = map.pin();
     for r in 0..reps {
         // Insert all keys in shuffled-ish order (odd stride walks the
         // whole space).
@@ -239,21 +285,24 @@ fn latency_triple(map: &dyn ConcurrentMap, n: u64, reps: u64) -> (f64, f64, f64)
         let t0 = Instant::now();
         for i in 0..n {
             let k = (i.wrapping_mul(stride) ^ r) % n;
-            map.insert(k, k);
+            session.insert(k, k);
         }
         ins_ns += t0.elapsed().as_nanos() as f64;
+        session.refresh();
         let t0 = Instant::now();
         for i in 0..n {
             let k = (i.wrapping_mul(stride) ^ r) % n;
-            std::hint::black_box(map.get(&k));
+            std::hint::black_box(session.get(&k));
         }
         find_ns += t0.elapsed().as_nanos() as f64;
+        session.refresh();
         let t0 = Instant::now();
         for i in 0..n {
             let k = (i.wrapping_mul(stride) ^ r) % n;
-            map.delete(&k);
+            session.delete(&k);
         }
         del_ns += t0.elapsed().as_nanos() as f64;
+        session.refresh();
     }
     let total = (n * reps) as f64;
     (ins_ns / total, find_ns / total, del_ns / total)
@@ -293,7 +342,7 @@ fn seq_latency_triple(n: u64, reps: u64) -> (f64, f64, f64) {
 /// E6: scan/update non-interference — dedicated scanners on disjoint vs
 /// overlapping ranges against dedicated updaters (paper §1: "RangeScans
 /// operating on different parts of the tree do not interfere").
-pub fn e6(opts: &ExpOpts) -> String {
+pub fn e6(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
     let scanner_counts = if opts.quick {
         vec![1, 2]
@@ -306,7 +355,7 @@ pub fn e6(opts: &ExpOpts) -> String {
     );
     for &sc in &scanner_counts {
         for disjoint in [true, false] {
-            let map = Pnb::new();
+            let map = adapters::Pnb::new();
             let cfg = ScanUpdaterConfig {
                 updaters: 2,
                 scanners: sc,
@@ -316,7 +365,22 @@ pub fn e6(opts: &ExpOpts) -> String {
                 seed: 42,
             };
             eprintln!("  {sc} scanners / disjoint={disjoint} ...");
-            let m = run_scan_updater(&map, &cfg);
+            let m = workload::run_scan_updater(&map, &cfg).expect("pnb-bst scans");
+            log.push(
+                "e6",
+                &[
+                    ("structure", Val::s(&m.name)),
+                    ("updaters", Val::U(m.updaters as u64)),
+                    ("scanners", Val::U(m.scanners as u64)),
+                    ("disjoint", Val::B(m.disjoint)),
+                    ("update_ops", Val::U(m.update_ops)),
+                    ("scan_ops", Val::U(m.scan_ops)),
+                    ("scanned_keys", Val::U(m.scanned_keys)),
+                    ("elapsed_secs", Val::F(m.elapsed_secs)),
+                    ("updates_per_sec", Val::F(m.updates_per_sec)),
+                    ("scans_per_sec", Val::F(m.scans_per_sec)),
+                ],
+            );
             out.push_str(&format!(
                 "| {sc} | {} | {:.0} | {:.0} | {} |\n",
                 if disjoint { "disjoint" } else { "full-range" },
@@ -333,7 +397,7 @@ pub fn e6(opts: &ExpOpts) -> String {
 /// helping as the scan rate grows. Needs the `stats` build
 /// (`--features stats`); otherwise counters read zero and the table says
 /// so.
-pub fn e7(opts: &ExpOpts) -> String {
+pub fn e7(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let kr = 10_000u64;
     let threads = if opts.quick { 2 } else { 4 };
     let mut out = format!(
@@ -344,13 +408,27 @@ pub fn e7(opts: &ExpOpts) -> String {
     );
     let stats_enabled = cfg!(feature = "stats");
     for scan_pct in [0u32, 1, 10, 30] {
-        let map = Pnb::new();
+        let map = adapters::Pnb::new();
         let find = 40 - scan_pct;
         let mix = Mix::new(30, 30, find, scan_pct, 100);
         let cfg = RunConfig::new(threads, opts.duration(), KeyDist::uniform(kr), mix);
         eprintln!("  scan%={scan_pct} ...");
-        let m = run_throughput(&map, &cfg);
+        let m = workload::run_throughput(&map, &cfg).expect("pnb-bst covers every mix");
         let st = map.0.stats();
+        log.push(
+            "e7",
+            &[
+                ("scan_pct", Val::U(scan_pct as u64)),
+                ("threads", Val::U(threads as u64)),
+                ("key_range", Val::U(kr)),
+                ("stats_enabled", Val::B(stats_enabled)),
+                ("total_ops", Val::U(m.total_ops)),
+                ("handshake_aborts", Val::U(st.handshake_aborts)),
+                ("freeze_aborts", Val::U(st.freeze_aborts)),
+                ("helps", Val::U(st.helps)),
+                ("validation_failures", Val::U(st.validation_failures)),
+            ],
+        );
         out.push_str(&format!(
             "| {scan_pct} | {} | {} | {} | {} | {} |\n",
             m.total_ops, st.handshake_aborts, st.freeze_aborts, st.helps, st.validation_failures
@@ -366,44 +444,12 @@ pub fn e7(opts: &ExpOpts) -> String {
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny() -> ExpOpts {
-        ExpOpts { quick: true }
-    }
-
-    // These are smoke tests: each experiment must run end-to-end and
-    // produce a table. (Durations in quick mode keep this tractable.)
-
-    #[test]
-    fn e5_produces_three_rows() {
-        let s = e5(&ExpOpts { quick: true });
-        assert!(s.contains("pnb-bst"));
-        assert!(s.contains("nb-bst"));
-        assert!(s.contains("seq-bst"));
-    }
-
-    #[test]
-    fn e7_runs_and_mentions_stats_state() {
-        let s = e7(&tiny());
-        assert!(s.contains("scan %") || s.contains("scan%") || s.contains("| 0 |"));
-    }
-
-    #[test]
-    fn table_formatting_helpers() {
-        assert_eq!(fmt_tput(2_000_000.0), "2.00 Mops/s");
-        assert_eq!(fmt_tput(5_000.0), "5 Kops/s");
-    }
-}
-
 /// E8 (extension) — tail latency per operation class under a mixed load
 /// with range queries. Wait-freedom is a *bound on individual operation
 /// time*: the interesting comparison is the p99/p999 of updates while
 /// scans run (lock-based maps stall writers behind every scan) and of
 /// scans while updates run.
-pub fn e8(opts: &ExpOpts) -> String {
+pub fn e8(opts: &ExpOpts, log: &mut JsonLog) -> String {
     let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
     let threads = if opts.quick { 2 } else { 4 };
     let mix = Mix::new(20, 20, 40, 20, 1_000); // scan-heavy enough to stall locks
@@ -412,18 +458,29 @@ pub fn e8(opts: &ExpOpts) -> String {
          {threads} threads, key range {kr})\n\n\
          | structure | op | samples | p50 | p99 | p999 |\n|---|---|---|---|---|---|\n"
     );
-    let structures: Vec<Box<dyn ConcurrentMap>> = vec![Box::new(Pnb::new()), Box::new(Rw::new())];
-    for s in structures {
+    let structures = [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::Rw(adapters::Rw::new()),
+    ];
+    for s in &structures {
         eprintln!("  {} latency ...", s.name());
-        let rep = run_latency(
-            s.as_ref(),
-            threads,
-            opts.duration(),
-            &KeyDist::uniform(kr),
-            mix,
-            42,
-        );
+        let rep = s
+            .run_latency(threads, opts.duration(), &KeyDist::uniform(kr), mix, 42)
+            .expect("range-capable roster");
         for (label, count, p50, p99, p999) in &rep.classes {
+            log.push(
+                "e8",
+                &[
+                    ("structure", Val::s(&rep.name)),
+                    ("op", Val::s(label)),
+                    ("threads", Val::U(threads as u64)),
+                    ("key_range", Val::U(kr)),
+                    ("samples", Val::U(*count)),
+                    ("p50_ns", Val::U(*p50)),
+                    ("p99_ns", Val::U(*p99)),
+                    ("p999_ns", Val::U(*p999)),
+                ],
+            );
             out.push_str(&format!(
                 "| {} | {label} | {count} | {} | {} | {} |\n",
                 rep.name,
@@ -446,16 +503,55 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+// Re-exported so the roster helpers read naturally from the bin.
+pub use workload::CapabilityError;
+
 #[cfg(test)]
-mod e8_tests {
+mod tests {
     use super::*;
+
+    fn tiny() -> ExpOpts {
+        ExpOpts { quick: true }
+    }
+
+    // These are smoke tests: each experiment must run end-to-end and
+    // produce a table (plus JSON rows for the trajectory file).
+
+    #[test]
+    fn e5_produces_three_rows_and_json() {
+        let mut log = JsonLog::new();
+        let s = e5(&tiny(), &mut log);
+        assert!(s.contains("pnb-bst"));
+        assert!(s.contains("nb-bst"));
+        assert!(s.contains("seq-bst"));
+        assert_eq!(log.len(), 3);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e5\""));
+        assert!(rendered.contains("\"structure\": \"pnb-bst\""));
+    }
+
+    #[test]
+    fn e7_runs_and_mentions_stats_state() {
+        let mut log = JsonLog::new();
+        let s = e7(&tiny(), &mut log);
+        assert!(s.contains("scan %") || s.contains("scan%") || s.contains("| 0 |"));
+        assert_eq!(log.len(), 4); // one row per scan percentage
+    }
+
+    #[test]
+    fn table_formatting_helpers() {
+        assert_eq!(fmt_tput(2_000_000.0), "2.00 Mops/s");
+        assert_eq!(fmt_tput(5_000.0), "5 Kops/s");
+    }
 
     #[test]
     fn e8_reports_both_structures() {
-        let s = e8(&ExpOpts { quick: true });
+        let mut log = JsonLog::new();
+        let s = e8(&ExpOpts { quick: true }, &mut log);
         assert!(s.contains("pnb-bst"));
         assert!(s.contains("rwlock-btreemap"));
         assert!(s.contains("range_scan"));
+        assert!(log.len() >= 8); // ≥4 op classes × 2 structures
     }
 
     #[test]

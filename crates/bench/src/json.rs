@@ -1,0 +1,161 @@
+//! Minimal JSON emission for the experiments binary.
+//!
+//! The vendored `serde` is an API-stub (no `serde_json` exists in the
+//! offline workspace), so the `--json` trajectory file is emitted by
+//! this tiny, dependency-free writer. The schema is flat on purpose —
+//! one object per measurement row, all rows in a single `results` array
+//! — so CI can diff/plot `BENCH_*.json` files across PRs with `jq`
+//! one-liners.
+
+/// A JSON scalar value.
+#[derive(Clone, Debug)]
+pub enum Val {
+    /// Unsigned integer.
+    U(u64),
+    /// Float (non-finite values are clamped to `0` to stay valid JSON).
+    F(f64),
+    /// String.
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+impl Val {
+    /// Convenience string constructor.
+    pub fn s(v: &str) -> Val {
+        Val::S(v.to_string())
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Val::U(u) => u.to_string(),
+            Val::F(f) if f.is_finite() => {
+                // `{}` on f64 always produces a valid JSON number for
+                // finite values (no exponent-less NaN/inf forms).
+                format!("{f}")
+            }
+            Val::F(_) => "0".to_string(),
+            Val::S(s) => format!("\"{}\"", escape(s)),
+            Val::B(b) => b.to_string(),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulator for machine-readable experiment rows.
+#[derive(Default, Debug)]
+pub struct JsonLog {
+    rows: Vec<String>,
+}
+
+impl JsonLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        JsonLog::default()
+    }
+
+    /// Append one row for `experiment` with the given fields.
+    pub fn push(&mut self, experiment: &str, fields: &[(&str, Val)]) {
+        let mut row = format!("{{\"experiment\": \"{}\"", escape(experiment));
+        for (k, v) in fields {
+            row.push_str(&format!(", \"{}\": {}", escape(k), v.render()));
+        }
+        row.push('}');
+        self.rows.push(row);
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether any rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the whole log as a pretty-enough JSON document.
+    pub fn render(&self, mode: &str, hardware_threads: usize) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", escape(mode)));
+        out.push_str(&format!("  \"hardware_threads\": {hardware_threads},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(row);
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_as_flat_objects() {
+        let mut log = JsonLog::new();
+        log.push(
+            "e1",
+            &[
+                ("structure", Val::s("pnb-bst")),
+                ("threads", Val::U(4)),
+                ("ops_per_sec", Val::F(1234.5)),
+                ("disjoint", Val::B(true)),
+            ],
+        );
+        let doc = log.render("quick", 8);
+        assert!(doc.contains("\"mode\": \"quick\""));
+        assert!(doc.contains("\"hardware_threads\": 8"));
+        assert!(doc.contains(
+            "{\"experiment\": \"e1\", \"structure\": \"pnb-bst\", \
+             \"threads\": 4, \"ops_per_sec\": 1234.5, \"disjoint\": true}"
+        ));
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_floats() {
+        let mut log = JsonLog::new();
+        log.push(
+            "x",
+            &[
+                ("s", Val::s("a\"b\\c\nd")),
+                ("inf", Val::F(f64::INFINITY)),
+                ("nan", Val::F(f64::NAN)),
+            ],
+        );
+        let doc = log.render("full", 1);
+        assert!(doc.contains("\"s\": \"a\\\"b\\\\c\\nd\""));
+        assert!(doc.contains("\"inf\": 0"));
+        assert!(doc.contains("\"nan\": 0"));
+    }
+
+    #[test]
+    fn empty_log_is_valid() {
+        let log = JsonLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        let doc = log.render("quick", 2);
+        assert!(doc.contains("\"results\": [\n  ]"));
+    }
+}

@@ -18,3 +18,4 @@
 
 pub mod adapters;
 pub mod experiments;
+pub mod json;

@@ -1,0 +1,272 @@
+//! Pinned session handles — the amortized-epoch hot-path API.
+//!
+//! Every compat method on [`PnbBst`] (`insert`, `get`, …) pins and drops
+//! an epoch guard: correct, but pure overhead in a loop, where the
+//! pin/unpin pair can rival the cost of the tree operation itself under
+//! read-mostly mixes. A [`Handle`] hoists that cost out of the loop: it
+//! pins **once** and exposes the whole operation set against the held
+//! guard, so the per-operation epoch cost drops to zero.
+//!
+//! The price of a pin is that reclamation of memory retired *after* it
+//! cannot complete while the guard lives. A handle used for a bounded
+//! batch is free; a handle held across millions of updates delays
+//! reclamation of everything those updates retire. Call
+//! [`Handle::refresh`] between batches to let the collector advance —
+//! the workload drivers in this repository do so every few dozen
+//! operations.
+
+use crossbeam_epoch::{self as epoch, Guard};
+use std::ops::RangeBounds;
+
+use crate::iter::{cloned_bounds, Range};
+use crate::snapshot::Snapshot;
+use crate::tree::PnbBst;
+
+/// A pinned session on a [`PnbBst`]: one epoch guard amortized over any
+/// number of operations.
+///
+/// Not `Send` (the guard is tied to the pinning thread): create one
+/// handle per thread, typically right after entering a work loop.
+/// Operations on different handles to the same tree run fully
+/// concurrently — a handle adds no synchronization whatsoever, it only
+/// caches the epoch pin.
+///
+/// # Example
+///
+/// ```
+/// use pnb_bst::PnbBst;
+///
+/// let tree: PnbBst<u64, &str> = PnbBst::new();
+/// let h = tree.pin();
+/// assert!(h.insert(2, "two"));
+/// assert_eq!(h.upsert(2, "TWO"), Some("two")); // atomic replace
+/// assert_eq!(h.get(&2), Some("TWO"));
+/// assert_eq!(h.range(..).count(), 1); // lazy, wait-free iteration
+/// assert!(h.delete(&2));
+/// ```
+pub struct Handle<'t, K, V> {
+    tree: &'t PnbBst<K, V>,
+    guard: Guard,
+}
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Pin the current thread's epoch and return a session [`Handle`]
+    /// exposing the whole operation set without per-call pinning.
+    pub fn pin(&self) -> Handle<'_, K, V> {
+        Handle {
+            tree: self,
+            guard: epoch::pin(),
+        }
+    }
+}
+
+impl<'t, K, V> Handle<'t, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// The underlying tree.
+    pub fn tree(&self) -> &'t PnbBst<K, V> {
+        self.tree
+    }
+
+    /// Look up `key` (paper `Find`); see [`PnbBst::get`].
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.tree.get_in(key, &self.guard)
+    }
+
+    /// Whether `key` is present; see [`PnbBst::contains`].
+    pub fn contains(&self, key: &K) -> bool {
+        self.tree.contains_in(key, &self.guard)
+    }
+
+    /// Insert without replacement (set semantics); see
+    /// [`PnbBst::insert`].
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.tree.insert_in(&key, &value, &self.guard)
+    }
+
+    /// Atomically insert or replace, returning the displaced value; see
+    /// [`PnbBst::upsert`].
+    pub fn upsert(&self, key: K, value: V) -> Option<V> {
+        self.tree.upsert_in(&key, &value, &self.guard)
+    }
+
+    /// Remove `key`; `true` iff it was present. See [`PnbBst::delete`].
+    pub fn delete(&self, key: &K) -> bool {
+        self.remove(key).is_some()
+    }
+
+    /// Remove `key`, returning its value. See [`PnbBst::remove`].
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.tree.remove_in(key, &self.guard)
+    }
+
+    /// Wait-free lazy range query over any [`RangeBounds`] — `..`,
+    /// `a..`, `..=b`, `a..b`, `(Bound::Excluded(a), Bound::Included(b))`,
+    /// and friends. Closes the current phase (like every scan) and
+    /// yields matches in ascending key order without materializing the
+    /// result set.
+    ///
+    /// Inverted or empty bounds yield an empty iterator (no panic, in
+    /// contrast to `BTreeMap::range`).
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<'_, K, V> {
+        let (lo, hi) = cloned_bounds(&range);
+        self.tree.range_in(lo, hi, &self.guard)
+    }
+
+    /// Lazy iteration over the whole map (`range(..)`), ascending.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// Closed-interval range query returning a `Vec` — compat shim over
+    /// [`range`](Self::range) mirroring [`PnbBst::range_scan`].
+    pub fn range_scan(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        self.range(lo.clone()..=hi.clone()).collect()
+    }
+
+    /// Count keys in `[lo, hi]` without cloning values (wait-free).
+    pub fn scan_count(&self, lo: &K, hi: &K) -> usize {
+        self.range(lo.clone()..=hi.clone()).count()
+    }
+
+    /// Linearizable cardinality (one wait-free full scan).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Linearizable emptiness test.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Take a [`Snapshot`] of the tree. The snapshot pins its own guard,
+    /// so it is independent of this handle and may outlive it.
+    pub fn snapshot(&self) -> Snapshot<'t, K, V> {
+        self.tree.snapshot()
+    }
+
+    /// The current phase number (diagnostics); see [`PnbBst::phase`].
+    pub fn phase(&self) -> u64 {
+        self.tree.phase()
+    }
+
+    /// Re-pin the session's epoch guard so memory reclamation can
+    /// advance past everything retired since the last pin. Cheap (two
+    /// atomic stores when this is the thread's only guard); call it
+    /// between batches in long-lived loops.
+    ///
+    /// Taking `&mut self` is what makes this safe: outstanding
+    /// [`Range`] iterators borrow the handle immutably, so the borrow
+    /// checker proves no traversal is in flight across the re-pin.
+    pub fn refresh(&mut self) {
+        self.guard.repin();
+    }
+
+    /// Seal this thread's deferred garbage into the global queue and
+    /// attempt a collection pass (see `crossbeam_epoch::Guard::flush`).
+    pub fn flush(&self) {
+        self.guard.flush();
+    }
+}
+
+impl<K, V> std::fmt::Debug for Handle<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_covers_the_operation_set() {
+        let t: PnbBst<i64, i64> = PnbBst::new();
+        let h = t.pin();
+        assert!(h.is_empty());
+        assert!(h.insert(5, 50));
+        assert!(!h.insert(5, 51)); // set semantics preserved
+        assert_eq!(h.upsert(5, 55), Some(50));
+        assert_eq!(h.upsert(6, 60), None);
+        assert_eq!(h.get(&5), Some(55));
+        assert!(h.contains(&6));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.range_scan(&0, &10), vec![(5, 55), (6, 60)]);
+        assert_eq!(h.scan_count(&0, &10), 2);
+        assert_eq!(h.remove(&5), Some(55));
+        assert!(!h.delete(&5));
+        assert_eq!(h.tree().len(), 1);
+    }
+
+    #[test]
+    fn handle_range_bounds_flavours() {
+        let t: PnbBst<i32, i32> = PnbBst::new();
+        let h = t.pin();
+        for k in 0..10 {
+            h.insert(k, k);
+        }
+        let keys = |it: Range<'_, i32, i32>| it.map(|(k, _)| k).collect::<Vec<_>>();
+        assert_eq!(keys(h.range(..)), (0..10).collect::<Vec<_>>());
+        assert_eq!(keys(h.range(3..7)), vec![3, 4, 5, 6]);
+        assert_eq!(keys(h.range(3..=7)), vec![3, 4, 5, 6, 7]);
+        assert_eq!(keys(h.range(8..)), vec![8, 9]);
+        assert_eq!(keys(h.range(..2)), vec![0, 1]);
+        use std::ops::Bound;
+        assert_eq!(
+            keys(h.range((Bound::Excluded(3), Bound::Excluded(7)))),
+            vec![4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn refresh_keeps_the_session_usable() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        let mut h = t.pin();
+        for k in 0..100 {
+            h.insert(k, k);
+            if k.is_multiple_of(10) {
+                h.refresh();
+            }
+        }
+        h.flush();
+        assert_eq!(h.len(), 100);
+        assert_eq!(t.check_invariants(), 100);
+    }
+
+    #[test]
+    fn updates_interleave_with_live_iteration() {
+        // A Range reads a closed phase: updates made through the same
+        // handle while it is being consumed must not disturb it.
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        let h = t.pin();
+        for k in 0..20 {
+            h.insert(k, k);
+        }
+        let mut seen = Vec::new();
+        for (k, _) in h.range(..) {
+            h.delete(&k); // mutate mid-iteration
+            h.insert(1000 + k, k); // and grow elsewhere
+            seen.push(k);
+        }
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+        assert_eq!(h.tree().check_invariants(), 20); // the 1000+ keys
+    }
+
+    #[test]
+    fn snapshot_outlives_handle() {
+        let t: PnbBst<u8, u8> = PnbBst::new();
+        let snap = {
+            let h = t.pin();
+            h.insert(1, 1);
+            h.snapshot()
+        };
+        t.insert(2, 2);
+        assert_eq!(snap.keys(), vec![1]);
+    }
+}

@@ -27,17 +27,32 @@ use std::sync::atomic::Ordering::SeqCst;
 
 use crate::info::{state, FreezeTag, Info, InfoPtr, NodePtr, OpKind, UpdateWord};
 use crate::node::{word_shared, Node};
-use crate::tree::{PnbBst, UpdateOutcome};
+use crate::tree::PnbBst;
+
+/// Result of one `Execute` call: either the attempt failed before its
+/// `Info` became visible (retry), or it *published* — from which point
+/// the creator must drive it to a decision with
+/// [`PnbBst::finish_published`] (immediately in production; after an
+/// arbitrary delay in the fault-injection harness, where the gap models
+/// a crash).
+pub(crate) enum ExecOutcome<K, V> {
+    /// The attempt failed pre-publish (a frozen old word, or the first
+    /// freeze CAS lost). The replacement subtree has been freed.
+    Failed,
+    /// The first freeze CAS succeeded: the attempt is visible to every
+    /// other thread and any of them may now complete or abort it.
+    Published(InfoPtr<K, V>),
+}
 
 impl<K, V> PnbBst<K, V>
 where
     K: Ord + Clone + 'static,
     V: Clone + 'static,
 {
-    /// Paper `Execute` (lines 92–106), extended with the testing-only
-    /// `pause` mode: when `pause` is true and the first freeze CAS
-    /// succeeds, the attempt is *suspended* — the published `Info` is
-    /// returned without running `Help`, simulating a crash mid-update.
+    /// Paper `Execute` (lines 92–106) up to and including the first
+    /// freeze CAS. The `Help`/cleanup half lives in
+    /// [`finish_published`](Self::finish_published) so the fault-injection
+    /// harness can suspend an attempt between the two.
     ///
     /// Takes ownership of `new_child` (for inserts: including its two
     /// fresh leaves) and frees it on failure.
@@ -52,9 +67,8 @@ where
         old_child: NodePtr<K, V>,
         new_child: NodePtr<K, V>,
         seq: u64,
-        pause: bool,
         guard: &Guard,
-    ) -> UpdateOutcome<bool, K, V> {
+    ) -> ExecOutcome<K, V> {
         // Lines 96–101: nothing we are about to freeze may currently be
         // frozen; help in-progress operations before failing.
         for &u in old_update {
@@ -66,7 +80,7 @@ where
                     self.help(u.info, guard);
                 }
                 self.free_unpublished_new_child(kind, new_child);
-                return UpdateOutcome::Done(false);
+                return ExecOutcome::Failed;
             }
         }
         // Line 102: allocate the Info object (refs = 1: creation ref).
@@ -91,10 +105,7 @@ where
             Ok(_) => {
                 // Published. The displaced word loses its field reference.
                 self.dec_ref(old_update[0].info, guard);
-                if pause {
-                    return UpdateOutcome::Paused(info);
-                }
-                UpdateOutcome::Done(self.finish_published(info, guard))
+                ExecOutcome::Published(info)
             }
             Err(_) => {
                 self.stats.freeze_cas_failures();
@@ -103,7 +114,7 @@ where
                 // SAFETY: no other thread has observed `info`.
                 unsafe { drop(Box::from_raw(info as *mut Info<K, V>)) };
                 self.free_unpublished_new_child(kind, new_child);
-                UpdateOutcome::Done(false)
+                ExecOutcome::Failed
             }
         }
     }
@@ -241,11 +252,12 @@ where
     }
 
     /// Retire the nodes a successful child CAS unlinked from the current
-    /// tree: the old leaf for an insert; the parent and both its children
-    /// for a delete. All of them are permanently marked for `info`.
+    /// tree: the old leaf for an insert or a replace; the parent and both
+    /// its children for a delete. All of them are permanently marked for
+    /// `info`.
     fn retire_replaced(&self, info: &Info<K, V>, guard: &Guard) {
         match info.kind {
-            OpKind::Insert => {
+            OpKind::Insert | OpKind::Replace => {
                 self.retire_node(info.old_child, guard);
             }
             OpKind::Delete => {
@@ -307,8 +319,9 @@ where
                 drop(Box::from_raw(l as *mut Node<K, V>));
                 drop(Box::from_raw(r as *mut Node<K, V>));
             }
-            // For deletes the copy's children are *shared* live nodes —
-            // only the copy itself is ours.
+            // For deletes the copy's children are *shared* live nodes,
+            // and a replace's new leaf has none — only the node itself
+            // is ours in either case.
             drop(Box::from_raw(new_child as *mut Node<K, V>));
         }
     }

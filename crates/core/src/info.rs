@@ -129,6 +129,11 @@ pub(crate) enum OpKind {
     /// `Delete`: `new_child` is a fresh copy of the sibling; `old_child`
     /// is the parent being spliced out together with both its children.
     Delete,
+    /// `Upsert`'s replacement shape: `new_child` is a single fresh leaf
+    /// carrying the new value (`prev` = the old leaf); `old_child` is the
+    /// replaced leaf. The smallest of the three shapes — one node in, one
+    /// node out, same freeze-validate-CAS protocol.
+    Replace,
 }
 
 /// Maximum number of nodes an attempt freezes (4, for `Delete`:

@@ -67,6 +67,27 @@
 //! assert_eq!(tree.range_scan(&100, &102).len(), 3);
 //! ```
 //!
+//! ## Sessions
+//!
+//! The per-call methods above pin and drop an epoch guard on every
+//! operation — convenient, but measurable overhead in a hot loop. A
+//! pinned session amortizes the guard across any number of operations
+//! and unlocks the richer API surface (atomic [`Handle::upsert`], lazy
+//! [`Handle::range`] over arbitrary `RangeBounds`):
+//!
+//! ```
+//! use pnb_bst::PnbBst;
+//!
+//! let tree: PnbBst<u64, u64> = PnbBst::new();
+//! let h = tree.pin(); // one epoch pin for the whole session
+//! for k in 0..100 {
+//!     h.insert(k, k * k);
+//! }
+//! assert_eq!(h.upsert(7, 0), Some(49)); // atomic insert-or-replace
+//! let squares: Vec<u64> = h.range(10..20).map(|(_, v)| v).collect();
+//! assert_eq!(squares.len(), 10);
+//! ```
+//!
 //! ## Memory reclamation
 //!
 //! The paper assumes garbage collection; this crate uses
@@ -86,8 +107,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod handle;
 mod help;
 mod info;
+mod iter;
 pub mod key;
 mod node;
 mod scan;
@@ -101,6 +124,8 @@ mod validate;
 #[cfg(feature = "testing-internals")]
 pub mod testing;
 
+pub use handle::Handle;
+pub use iter::Range;
 pub use key::SKey;
 pub use set::PnbBstSet;
 pub use snapshot::Snapshot;

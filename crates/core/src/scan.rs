@@ -36,7 +36,7 @@ use crate::tree::PnbBst;
 /// *conservative*: the per-leaf filter [`bounds_contain`] makes the final
 /// decision.
 #[inline]
-fn skip_left<K: Ord>(lo: &Bound<&K>, key: &SKey<K>) -> bool {
+pub(crate) fn skip_left<K: Ord>(lo: &Bound<&K>, key: &SKey<K>) -> bool {
     match lo {
         Bound::Unbounded => false,
         // Left subtree keys are < key; a match needs x >= a (or > a):
@@ -46,7 +46,7 @@ fn skip_left<K: Ord>(lo: &Bound<&K>, key: &SKey<K>) -> bool {
 }
 
 #[inline]
-fn skip_right<K: Ord>(hi: &Bound<&K>, key: &SKey<K>) -> bool {
+pub(crate) fn skip_right<K: Ord>(hi: &Bound<&K>, key: &SKey<K>) -> bool {
     match hi {
         Bound::Unbounded => false,
         // Right subtree keys are >= key; a match needs x <= b: impossible
@@ -59,7 +59,7 @@ fn skip_right<K: Ord>(hi: &Bound<&K>, key: &SKey<K>) -> bool {
 
 /// Whether a finite leaf key lies within the requested bounds.
 #[inline]
-fn bounds_contain<K: Ord>(lo: &Bound<&K>, hi: &Bound<&K>, k: &K) -> bool {
+pub(crate) fn bounds_contain<K: Ord>(lo: &Bound<&K>, hi: &Bound<&K>, k: &K) -> bool {
     let lo_ok = match lo {
         Bound::Unbounded => true,
         Bound::Included(a) => k >= a,
@@ -82,6 +82,11 @@ where
     /// paper's `RangeScan(a, b)`). Returns the matching key/value pairs
     /// in ascending key order, as of the scan's linearization point (the
     /// end of its phase).
+    ///
+    /// Compat wrapper: materializes the full result `Vec` and pins an
+    /// epoch guard per call. New code should prefer the lazy
+    /// [`Handle::range`](crate::Handle::range) (`tree.pin().range(a..=b)`),
+    /// which streams matches without allocating the result set.
     pub fn range_scan(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
         let mut out = Vec::new();
         self.range_scan_with(Bound::Included(lo), Bound::Included(hi), |k, v| {

@@ -147,6 +147,21 @@ where
         self.tree.scan_tree(self.seq, lo, hi, &mut f, &self.guard);
     }
 
+    /// Lazy, wait-free range iteration within the snapshot over any
+    /// [`RangeBounds`](std::ops::RangeBounds) — the snapshot's phase is
+    /// already closed, so (unlike [`Handle::range`](crate::Handle::range))
+    /// this does not advance the counter and any number of iterations
+    /// observe the same version.
+    pub fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> crate::Range<'_, K, V> {
+        let (lo, hi) = crate::iter::cloned_bounds(&range);
+        crate::Range::new(self.tree, &self.guard, self.seq, lo, hi)
+    }
+
+    /// Lazy iteration over the whole snapshot (`range(..)`), ascending.
+    pub fn iter(&self) -> crate::Range<'_, K, V> {
+        self.range(..)
+    }
+
     /// All key/value pairs in the snapshot, ascending.
     pub fn to_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();

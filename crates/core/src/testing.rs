@@ -25,7 +25,7 @@ use crossbeam_epoch::{self as epoch, Guard};
 use std::sync::atomic::Ordering::SeqCst;
 
 use crate::info::{state, InfoPtr};
-use crate::tree::{PnbBst, UpdateOutcome};
+use crate::tree::{AttemptOutcome, PnbBst};
 
 /// Outcome of starting a pausable update.
 pub enum PauseOutcome<'t, K, V> {
@@ -73,28 +73,60 @@ where
     /// internally, exactly like a real insert.
     pub fn insert_paused(&self, key: K, value: V) -> PauseOutcome<'_, K, V> {
         let guard = epoch::pin();
-        match self.insert_impl(&key, &value, true, &guard) {
-            UpdateOutcome::Done(b) => PauseOutcome::Completed(b),
-            UpdateOutcome::Paused(info) => PauseOutcome::Paused(PausedUpdate {
-                tree: self,
-                info,
-                guard: Some(guard),
-                resumed: false,
-            }),
+        loop {
+            match self.insert_attempt(&key, &value, &guard) {
+                AttemptOutcome::Decided(b) => return PauseOutcome::Completed(b),
+                AttemptOutcome::Published { info, .. } => {
+                    return PauseOutcome::Paused(PausedUpdate {
+                        tree: self,
+                        info,
+                        guard: Some(guard),
+                        resumed: false,
+                    })
+                }
+                AttemptOutcome::Retry => {}
+            }
         }
     }
 
     /// Start a delete and suspend it right after it publishes.
     pub fn delete_paused(&self, key: &K) -> PauseOutcome<'_, K, V> {
         let guard = epoch::pin();
-        match self.delete_impl(key, true, &guard) {
-            UpdateOutcome::Done(v) => PauseOutcome::Completed(v.is_some()),
-            UpdateOutcome::Paused(info) => PauseOutcome::Paused(PausedUpdate {
-                tree: self,
-                info,
-                guard: Some(guard),
-                resumed: false,
-            }),
+        loop {
+            match self.delete_attempt(key, &guard) {
+                AttemptOutcome::Decided(v) => return PauseOutcome::Completed(v.is_some()),
+                AttemptOutcome::Published { info, .. } => {
+                    return PauseOutcome::Paused(PausedUpdate {
+                        tree: self,
+                        info,
+                        guard: Some(guard),
+                        resumed: false,
+                    })
+                }
+                AttemptOutcome::Retry => {}
+            }
+        }
+    }
+
+    /// Start an upsert and suspend it right after it publishes. Upserts
+    /// always publish (both the insert and the replace shape mutate the
+    /// tree), so the outcome is always `Paused`; `Completed` is kept in
+    /// the signature for uniformity with the other paused starters.
+    pub fn upsert_paused(&self, key: K, value: V) -> PauseOutcome<'_, K, V> {
+        let guard = epoch::pin();
+        loop {
+            match self.upsert_attempt(&key, &value, &guard) {
+                AttemptOutcome::Decided(v) => return PauseOutcome::Completed(v.is_some()),
+                AttemptOutcome::Published { info, .. } => {
+                    return PauseOutcome::Paused(PausedUpdate {
+                        tree: self,
+                        info,
+                        guard: Some(guard),
+                        resumed: false,
+                    })
+                }
+                AttemptOutcome::Retry => {}
+            }
         }
     }
 }

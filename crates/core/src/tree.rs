@@ -68,13 +68,29 @@ pub struct PnbBst<K, V> {
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for PnbBst<K, V> {}
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for PnbBst<K, V> {}
 
-/// Result of one call to the internal update driver: either the operation
-/// finished with a result, or (testing only) it was suspended right after
-/// publishing its `Info` object.
-pub(crate) enum UpdateOutcome<R, K, V> {
-    Done(R),
-    #[allow(dead_code)] // constructed only with `pause == true`
-    Paused(InfoPtr<K, V>),
+/// Result of a single update *attempt* (one pass of a driver's retry
+/// loop). Splitting the drivers at attempt granularity is what lets the
+/// `testing-internals` pause harness stop an operation exactly between
+/// its publish (first freeze CAS) and its completion without any
+/// testing-only plumbing through the production paths.
+pub(crate) enum AttemptOutcome<R, K, V> {
+    /// The operation finished read-only, without publishing anything
+    /// (duplicate insert / delete of an absent key), with result `R`.
+    /// Linearized at the validated read of the parent's update field.
+    Decided(R),
+    /// The attempt published its `Info`: it is now visible to (and
+    /// completable by) every thread. The creation reference must be
+    /// released by driving it through [`PnbBst::finish_published`]; if
+    /// that reports a commit, the operation's result is `commit`.
+    Published {
+        /// The published `Info` (creation reference still held).
+        info: InfoPtr<K, V>,
+        /// The operation's result if this attempt commits.
+        commit: R,
+    },
+    /// The attempt failed before publishing (stale validation or a lost
+    /// first freeze CAS); the driver retries.
+    Retry,
 }
 
 impl<K, V> Default for PnbBst<K, V>
@@ -141,31 +157,52 @@ where
 
     /// Insert `key → value`. Returns `true` if the key was absent and was
     /// inserted, `false` if it was already present (the paper's set
-    /// semantics — no replacement happens).
+    /// semantics — no replacement happens; see [`upsert`](Self::upsert)
+    /// for replace-on-collision).
     ///
     /// Lock-free; linearizes at the first freeze CAS of the successful
     /// attempt (if it succeeds) or at the validated read of the parent's
     /// update field (if the key was present).
+    ///
+    /// Compat wrapper: pins and drops an epoch guard per call. Hot loops
+    /// should use a pinned session ([`pin`](Self::pin)) instead.
     pub fn insert(&self, key: K, value: V) -> bool {
         let guard = &epoch::pin();
-        match self.insert_impl(&key, &value, false, guard) {
-            UpdateOutcome::Done(b) => b,
-            UpdateOutcome::Paused(_) => unreachable!("pause=false"),
-        }
+        self.insert_in(&key, &value, guard)
+    }
+
+    /// Insert or replace `key → value` atomically, returning the
+    /// previously stored value (`None` if the key was absent).
+    ///
+    /// The replace case is a new one-leaf subtree-replacement shape run
+    /// through the same freeze-validate-CAS protocol as `Insert`/`Delete`
+    /// (freeze the parent with *Flag* and the old leaf with *Mark*, then
+    /// swing the child pointer to a fresh leaf whose `prev` is the old
+    /// one), so the paper's linearization and non-blocking arguments
+    /// carry over unchanged: the operation linearizes at the first freeze
+    /// CAS of its successful attempt, and version-`seq` readers keep
+    /// seeing the old leaf through the `prev` chain.
+    ///
+    /// Compat note: prefer [`Handle::upsert`](crate::Handle::upsert) in
+    /// hot loops — this wrapper pins an epoch guard per call.
+    pub fn upsert(&self, key: K, value: V) -> Option<V> {
+        let guard = &epoch::pin();
+        self.upsert_in(&key, &value, guard)
     }
 
     /// Remove `key`, returning `true` if it was present.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn delete(&self, key: &K) -> bool {
         self.remove(key).is_some()
     }
 
     /// Remove `key`, returning its value if it was present.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn remove(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
-        match self.delete_impl(key, false, guard) {
-            UpdateOutcome::Done(v) => v,
-            UpdateOutcome::Paused(_) => unreachable!("pause=false"),
-        }
+        self.remove_in(key, guard)
     }
 
     /// Look up `key` (the paper's `Find`, lines 69–82). Returns a clone
@@ -173,8 +210,24 @@ where
     ///
     /// Helps at most the updates pending on the parent/grandparent of the
     /// leaf it arrives at (the paper's lightweight helping).
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
+        self.get_in(key, guard)
+    }
+
+    /// Whether `key` is in the set.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
+    pub fn contains(&self, key: &K) -> bool {
+        let guard = &epoch::pin();
+        self.contains_in(key, guard)
+    }
+
+    /// [`get`](Self::get) under a caller-provided guard (the session hot
+    /// path — no per-op pin).
+    pub(crate) fn get_in(&self, key: &K, guard: &Guard) -> Option<V> {
         loop {
             let seq = self.counter.load(SeqCst); // line 74
             let (gp, p, l) = self.search(key, seq, guard); // line 75
@@ -194,9 +247,8 @@ where
         }
     }
 
-    /// Whether `key` is in the set.
-    pub fn contains(&self, key: &K) -> bool {
-        let guard = &epoch::pin();
+    /// [`contains`](Self::contains) under a caller-provided guard.
+    pub(crate) fn contains_in(&self, key: &K, guard: &Guard) -> bool {
         loop {
             let seq = self.counter.load(SeqCst);
             let (gp, p, l) = self.search(key, seq, guard);
@@ -209,194 +261,301 @@ where
         }
     }
 
-    /// One full `Insert` driver (paper lines 147–168). `pause == true`
-    /// (testing only) suspends right after the attempt's first freeze CAS
-    /// succeeds, returning the published `Info`.
-    pub(crate) fn insert_impl(
-        &self,
-        key: &K,
-        value: &V,
-        pause: bool,
-        guard: &Guard,
-    ) -> UpdateOutcome<bool, K, V> {
+    /// Full `Insert` driver under a caller-provided guard: retry
+    /// attempts until one decides or commits.
+    pub(crate) fn insert_in(&self, key: &K, value: &V, guard: &Guard) -> bool {
         loop {
-            self.stats.update_attempts();
-            let seq = self.counter.load(SeqCst); // line 155
-            let (gp, p, l) = self.search(key, seq, guard); // line 156
-
-            // SAFETY: non-null per Invariant 4.8.
-            let p_ref = unsafe { p.deref() };
-            let l_ref = unsafe { l.deref() };
-            let Some((_, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
-                self.stats.validation_failures();
-                continue;
-            };
-            if l_ref.key.fin_eq(key) {
-                return UpdateOutcome::Done(false); // line 159: duplicate
-            }
-            // Build the replacement subtree (lines 161–163): two fresh
-            // leaves under a fresh internal node whose prev is `l`.
-            let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
-                SKey::Fin(key.clone()),
-                Some(value.clone()),
-                seq,
-                std::ptr::null(),
-                self.dummy,
-            )));
-            let sibling_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
-                l_ref.key.clone(),
-                l_ref.value.clone(),
-                seq,
-                std::ptr::null(),
-                self.dummy,
-            )));
-            // Smaller key goes left; the internal node takes the larger key.
-            let key_lt_leaf = l_ref.key.fin_lt(key); // k < l.key
-            let (lc, rc) = if key_lt_leaf {
-                (new_leaf, sibling_leaf)
-            } else {
-                (sibling_leaf, new_leaf)
-            };
-            let internal_key = std::cmp::max(SKey::Fin(key.clone()), l_ref.key.clone());
-            let new_internal: NodePtr<K, V> = Box::into_raw(Box::new(Node::internal(
-                internal_key,
-                seq,
-                l.as_raw(),
-                lc,
-                rc,
-                self.dummy,
-            )));
-            let l_update = l_ref.load_update(guard); // read at call site (line 164)
-            let nodes = [p.as_raw(), l.as_raw()];
-            let old_update = [pupdate, l_update];
-            let mark = [false, true];
-            match self.execute(
-                OpKind::Insert,
-                &nodes,
-                &old_update,
-                &mark,
-                p.as_raw(),
-                l.as_raw(),
-                new_internal,
-                seq,
-                pause,
-                guard,
-            ) {
-                UpdateOutcome::Done(true) => return UpdateOutcome::Done(true),
-                UpdateOutcome::Done(false) => continue,
-                paused @ UpdateOutcome::Paused(_) => return paused,
+            match self.insert_attempt(key, value, guard) {
+                AttemptOutcome::Decided(r) => return r,
+                AttemptOutcome::Published { info, commit } => {
+                    if self.finish_published(info, guard) {
+                        return commit;
+                    }
+                }
+                AttemptOutcome::Retry => {}
             }
         }
     }
 
-    /// One full `Delete` driver (paper lines 169–195).
-    pub(crate) fn delete_impl(
-        &self,
-        key: &K,
-        pause: bool,
-        guard: &Guard,
-    ) -> UpdateOutcome<Option<V>, K, V> {
+    /// Full `Delete` driver under a caller-provided guard.
+    pub(crate) fn remove_in(&self, key: &K, guard: &Guard) -> Option<V> {
         loop {
-            self.stats.update_attempts();
-            let seq = self.counter.load(SeqCst); // line 177
-            let (gp, p, l) = self.search(key, seq, guard); // line 178
-
-            // SAFETY: non-null per Invariant 4.9.
-            let p_ref = unsafe { p.deref() };
-            let l_ref = unsafe { l.deref() };
-            let Some((gpupdate, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
-                self.stats.validation_failures();
-                continue;
-            };
-            if !l_ref.key.fin_eq(key) {
-                return UpdateOutcome::Done(None); // line 181: absent
-            }
-            // `l.key == k` is finite, so p != Root and gp is non-null
-            // (Invariant 4.9) and gpupdate was produced by validation.
-            let gpupdate = gpupdate.expect("gp validated when l.key is finite");
-            // Locate the sibling in T_seq (line 182): if l is the right
-            // child (l.key >= p.key) the sibling is the left child.
-            let sib_is_left = !p_ref.key.fin_lt(key); // l.key >= p.key ⟺ !(k < p.key)
-            let sibling = self.read_child(p_ref, sib_is_left, seq, guard);
-            // Line 183: sibling must be the *current* child of p.
-            let Some(_) = self.validate_link(p_ref, sibling, sib_is_left, guard) else {
-                self.stats.validation_failures();
-                continue;
-            };
-            // SAFETY: read_child returns non-null (Invariant 4.5).
-            let sib_ref = unsafe { sibling.deref() };
-            // Build the replacement: a copy of the sibling with seq = seq
-            // and prev = p (line 185). Sharing the sibling's children is
-            // safe because the sibling is frozen before the child CAS.
-            let new_node: NodePtr<K, V> = if sib_ref.leaf {
-                Box::into_raw(Box::new(Node::leaf(
-                    sib_ref.key.clone(),
-                    sib_ref.value.clone(),
-                    seq,
-                    p.as_raw(),
-                    self.dummy,
-                )))
-            } else {
-                let sl = sib_ref.load_child(true, guard);
-                let sr = sib_ref.load_child(false, guard);
-                Box::into_raw(Box::new(Node::internal(
-                    sib_ref.key.clone(),
-                    seq,
-                    p.as_raw(),
-                    sl.as_raw(),
-                    sr.as_raw(),
-                    self.dummy,
-                )))
-            };
-            // Lines 186–189: obtain supdate, validating that the copied
-            // children are still the sibling's current children.
-            let supdate: UpdateWord<K, V> = if !sib_ref.leaf {
-                // SAFETY: new_node was just allocated by us.
-                let nn = unsafe { &*new_node };
-                let nl = nn.load_child(true, guard);
-                let nr = nn.load_child(false, guard);
-                let first = self.validate_link(sib_ref, nl, true, guard);
-                let ok = match first {
-                    Some(up) => self.validate_link(sib_ref, nr, false, guard).map(|_| up),
-                    None => None,
-                };
-                match ok {
-                    Some(up) => up,
-                    None => {
-                        self.stats.validation_failures();
-                        // Never published: free the copy immediately.
-                        // SAFETY: no other thread has seen new_node.
-                        unsafe {
-                            drop(Box::from_raw(new_node as *mut Node<K, V>));
-                        }
-                        continue;
+            match self.delete_attempt(key, guard) {
+                AttemptOutcome::Decided(r) => return r,
+                AttemptOutcome::Published { info, commit } => {
+                    if self.finish_published(info, guard) {
+                        return commit;
                     }
                 }
-            } else {
-                sib_ref.load_update(guard) // line 189
-            };
-            // Capture the value before the leaf may be retired.
-            let removed = l_ref.value.clone();
-            let nodes = [gp.as_raw(), p.as_raw(), l.as_raw(), sibling.as_raw()];
-            let l_update = l_ref.load_update(guard); // read at call site (line 190)
-            let old_update = [gpupdate, pupdate, l_update, supdate];
-            let mark = [false, true, true, true];
-            match self.execute(
-                OpKind::Delete,
-                &nodes,
-                &old_update,
-                &mark,
-                gp.as_raw(),
-                p.as_raw(),
-                new_node,
-                seq,
-                pause,
-                guard,
-            ) {
-                UpdateOutcome::Done(true) => return UpdateOutcome::Done(removed),
-                UpdateOutcome::Done(false) => continue,
-                UpdateOutcome::Paused(i) => return UpdateOutcome::Paused(i),
+                AttemptOutcome::Retry => {}
             }
+        }
+    }
+
+    /// Full `Upsert` driver under a caller-provided guard.
+    pub(crate) fn upsert_in(&self, key: &K, value: &V, guard: &Guard) -> Option<V> {
+        loop {
+            match self.upsert_attempt(key, value, guard) {
+                AttemptOutcome::Decided(r) => return r,
+                AttemptOutcome::Published { info, commit } => {
+                    if self.finish_published(info, guard) {
+                        return commit;
+                    }
+                }
+                AttemptOutcome::Retry => {}
+            }
+        }
+    }
+
+    /// One `Insert` attempt (paper lines 147–168, one pass of the loop).
+    pub(crate) fn insert_attempt(
+        &self,
+        key: &K,
+        value: &V,
+        guard: &Guard,
+    ) -> AttemptOutcome<bool, K, V> {
+        self.stats.update_attempts();
+        let seq = self.counter.load(SeqCst); // line 155
+        let (gp, p, l) = self.search(key, seq, guard); // line 156
+
+        // SAFETY: non-null per Invariant 4.8.
+        let p_ref = unsafe { p.deref() };
+        let l_ref = unsafe { l.deref() };
+        let Some((_, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
+            self.stats.validation_failures();
+            return AttemptOutcome::Retry;
+        };
+        if l_ref.key.fin_eq(key) {
+            return AttemptOutcome::Decided(false); // line 159: duplicate
+        }
+        // Build the replacement subtree (lines 161–163): two fresh
+        // leaves under a fresh internal node whose prev is `l`.
+        let new_internal = self.build_insert_subtree(key, value, l_ref, l.as_raw(), seq, guard);
+        let l_update = l_ref.load_update(guard); // read at call site (line 164)
+        let nodes = [p.as_raw(), l.as_raw()];
+        let old_update = [pupdate, l_update];
+        let mark = [false, true];
+        match self.execute(
+            OpKind::Insert,
+            &nodes,
+            &old_update,
+            &mark,
+            p.as_raw(),
+            l.as_raw(),
+            new_internal,
+            seq,
+            guard,
+        ) {
+            crate::help::ExecOutcome::Published(info) => {
+                AttemptOutcome::Published { info, commit: true }
+            }
+            crate::help::ExecOutcome::Failed => AttemptOutcome::Retry,
+        }
+    }
+
+    /// The two fresh leaves + internal node of an insert's replacement
+    /// subtree (paper lines 161–163).
+    fn build_insert_subtree(
+        &self,
+        key: &K,
+        value: &V,
+        l_ref: &Node<K, V>,
+        l_raw: NodePtr<K, V>,
+        seq: u64,
+        _guard: &Guard,
+    ) -> NodePtr<K, V> {
+        let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+            SKey::Fin(key.clone()),
+            Some(value.clone()),
+            seq,
+            std::ptr::null(),
+            self.dummy,
+        )));
+        let sibling_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+            l_ref.key.clone(),
+            l_ref.value.clone(),
+            seq,
+            std::ptr::null(),
+            self.dummy,
+        )));
+        // Smaller key goes left; the internal node takes the larger key.
+        let key_lt_leaf = l_ref.key.fin_lt(key); // k < l.key
+        let (lc, rc) = if key_lt_leaf {
+            (new_leaf, sibling_leaf)
+        } else {
+            (sibling_leaf, new_leaf)
+        };
+        let internal_key = std::cmp::max(SKey::Fin(key.clone()), l_ref.key.clone());
+        Box::into_raw(Box::new(Node::internal(
+            internal_key,
+            seq,
+            l_raw,
+            lc,
+            rc,
+            self.dummy,
+        )))
+    }
+
+    /// One `Upsert` attempt: the insert shape when the key is absent, or
+    /// the one-leaf *replace* shape when it is present. `commit` carries
+    /// the displaced value for the replace case.
+    pub(crate) fn upsert_attempt(
+        &self,
+        key: &K,
+        value: &V,
+        guard: &Guard,
+    ) -> AttemptOutcome<Option<V>, K, V> {
+        self.stats.update_attempts();
+        let seq = self.counter.load(SeqCst);
+        let (gp, p, l) = self.search(key, seq, guard);
+
+        // SAFETY: non-null per Invariant 4.8.
+        let p_ref = unsafe { p.deref() };
+        let l_ref = unsafe { l.deref() };
+        let Some((_, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
+            self.stats.validation_failures();
+            return AttemptOutcome::Retry;
+        };
+        let (kind, new_child, displaced) = if l_ref.key.fin_eq(key) {
+            // Replace shape: one fresh leaf, prev = the old leaf, so
+            // version-`seq` readers still reach the displaced value.
+            let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+                SKey::Fin(key.clone()),
+                Some(value.clone()),
+                seq,
+                l.as_raw(),
+                self.dummy,
+            )));
+            (OpKind::Replace, new_leaf, l_ref.value.clone())
+        } else {
+            let new_internal = self.build_insert_subtree(key, value, l_ref, l.as_raw(), seq, guard);
+            (OpKind::Insert, new_internal, None)
+        };
+        let l_update = l_ref.load_update(guard);
+        let nodes = [p.as_raw(), l.as_raw()];
+        let old_update = [pupdate, l_update];
+        let mark = [false, true];
+        match self.execute(
+            kind,
+            &nodes,
+            &old_update,
+            &mark,
+            p.as_raw(),
+            l.as_raw(),
+            new_child,
+            seq,
+            guard,
+        ) {
+            crate::help::ExecOutcome::Published(info) => AttemptOutcome::Published {
+                info,
+                commit: displaced,
+            },
+            crate::help::ExecOutcome::Failed => AttemptOutcome::Retry,
+        }
+    }
+
+    /// One `Delete` attempt (paper lines 169–195, one pass of the loop).
+    pub(crate) fn delete_attempt(&self, key: &K, guard: &Guard) -> AttemptOutcome<Option<V>, K, V> {
+        self.stats.update_attempts();
+        let seq = self.counter.load(SeqCst); // line 177
+        let (gp, p, l) = self.search(key, seq, guard); // line 178
+
+        // SAFETY: non-null per Invariant 4.9.
+        let p_ref = unsafe { p.deref() };
+        let l_ref = unsafe { l.deref() };
+        let Some((gpupdate, pupdate)) = self.validate_leaf(gp, p_ref, l, key, guard) else {
+            self.stats.validation_failures();
+            return AttemptOutcome::Retry;
+        };
+        if !l_ref.key.fin_eq(key) {
+            return AttemptOutcome::Decided(None); // line 181: absent
+        }
+        // `l.key == k` is finite, so p != Root and gp is non-null
+        // (Invariant 4.9) and gpupdate was produced by validation.
+        let gpupdate = gpupdate.expect("gp validated when l.key is finite");
+        // Locate the sibling in T_seq (line 182): if l is the right
+        // child (l.key >= p.key) the sibling is the left child.
+        let sib_is_left = !p_ref.key.fin_lt(key); // l.key >= p.key ⟺ !(k < p.key)
+        let sibling = self.read_child(p_ref, sib_is_left, seq, guard);
+        // Line 183: sibling must be the *current* child of p.
+        let Some(_) = self.validate_link(p_ref, sibling, sib_is_left, guard) else {
+            self.stats.validation_failures();
+            return AttemptOutcome::Retry;
+        };
+        // SAFETY: read_child returns non-null (Invariant 4.5).
+        let sib_ref = unsafe { sibling.deref() };
+        // Build the replacement: a copy of the sibling with seq = seq
+        // and prev = p (line 185). Sharing the sibling's children is
+        // safe because the sibling is frozen before the child CAS.
+        let new_node: NodePtr<K, V> = if sib_ref.leaf {
+            Box::into_raw(Box::new(Node::leaf(
+                sib_ref.key.clone(),
+                sib_ref.value.clone(),
+                seq,
+                p.as_raw(),
+                self.dummy,
+            )))
+        } else {
+            let sl = sib_ref.load_child(true, guard);
+            let sr = sib_ref.load_child(false, guard);
+            Box::into_raw(Box::new(Node::internal(
+                sib_ref.key.clone(),
+                seq,
+                p.as_raw(),
+                sl.as_raw(),
+                sr.as_raw(),
+                self.dummy,
+            )))
+        };
+        // Lines 186–189: obtain supdate, validating that the copied
+        // children are still the sibling's current children.
+        let supdate: UpdateWord<K, V> = if !sib_ref.leaf {
+            // SAFETY: new_node was just allocated by us.
+            let nn = unsafe { &*new_node };
+            let nl = nn.load_child(true, guard);
+            let nr = nn.load_child(false, guard);
+            let first = self.validate_link(sib_ref, nl, true, guard);
+            let ok = match first {
+                Some(up) => self.validate_link(sib_ref, nr, false, guard).map(|_| up),
+                None => None,
+            };
+            match ok {
+                Some(up) => up,
+                None => {
+                    self.stats.validation_failures();
+                    // Never published: free the copy immediately.
+                    // SAFETY: no other thread has seen new_node.
+                    unsafe {
+                        drop(Box::from_raw(new_node as *mut Node<K, V>));
+                    }
+                    return AttemptOutcome::Retry;
+                }
+            }
+        } else {
+            sib_ref.load_update(guard) // line 189
+        };
+        // Capture the value before the leaf may be retired.
+        let removed = l_ref.value.clone();
+        let nodes = [gp.as_raw(), p.as_raw(), l.as_raw(), sibling.as_raw()];
+        let l_update = l_ref.load_update(guard); // read at call site (line 190)
+        let old_update = [gpupdate, pupdate, l_update, supdate];
+        let mark = [false, true, true, true];
+        match self.execute(
+            OpKind::Delete,
+            &nodes,
+            &old_update,
+            &mark,
+            gp.as_raw(),
+            p.as_raw(),
+            new_node,
+            seq,
+            guard,
+        ) {
+            crate::help::ExecOutcome::Published(info) => AttemptOutcome::Published {
+                info,
+                commit: removed,
+            },
+            crate::help::ExecOutcome::Failed => AttemptOutcome::Retry,
         }
     }
 }
@@ -583,6 +742,100 @@ mod tests {
             }
         }
         assert_eq!(t.check_invariants(), model.len());
+    }
+
+    #[test]
+    fn upsert_inserts_then_replaces() {
+        let t: PnbBst<u32, String> = PnbBst::new();
+        assert_eq!(t.upsert(1, "a".into()), None);
+        assert_eq!(t.upsert(1, "b".into()), Some("a".into()));
+        assert_eq!(t.upsert(1, "c".into()), Some("b".into()));
+        assert_eq!(t.get(&1), Some("c".into()));
+        assert_eq!(t.check_invariants(), 1);
+        // Mixed with set-semantics insert: insert still refuses.
+        assert!(!t.insert(1, "d".into()));
+        assert_eq!(t.get(&1), Some("c".into()));
+    }
+
+    #[test]
+    fn upsert_replace_preserves_old_versions() {
+        // The replace shape links prev to the old leaf, so a snapshot
+        // taken before the upsert must keep seeing the old value.
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        t.insert(7, 70);
+        let snap = t.snapshot();
+        assert_eq!(t.upsert(7, 71), Some(70));
+        assert_eq!(t.upsert(7, 72), Some(71));
+        assert_eq!(snap.get(&7), Some(70));
+        assert_eq!(t.get(&7), Some(72));
+    }
+
+    #[test]
+    fn upsert_interleaved_matches_btreemap() {
+        use std::collections::BTreeMap;
+        let t: PnbBst<i32, i32> = PnbBst::new();
+        let mut model = BTreeMap::new();
+        let mut x: u64 = 0xC0FFEE;
+        for step in 0..4000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = ((x >> 33) % 48) as i32;
+            match step % 4 {
+                0 => {
+                    assert_eq!(t.upsert(k, step), model.insert(k, step), "upsert {k}");
+                }
+                1 => {
+                    let expect = !model.contains_key(&k);
+                    assert_eq!(t.insert(k, step), expect);
+                    model.entry(k).or_insert(step);
+                }
+                2 => {
+                    assert_eq!(t.remove(&k), model.remove(&k));
+                }
+                _ => {
+                    assert_eq!(t.get(&k), model.get(&k).copied());
+                }
+            }
+        }
+        assert_eq!(t.check_invariants(), model.len());
+    }
+
+    #[test]
+    fn concurrent_upserts_on_one_key_are_atomic() {
+        // Every committed replace displaces exactly one value: across N
+        // upserts of one key, the multiset {initial, returns...} ∪ {final}
+        // must chain (each thread's displaced value was someone's write).
+        use std::sync::Arc;
+        let t = Arc::new(PnbBst::<u32, u64>::new());
+        t.insert(9, 0);
+        let per_thread = 500u64;
+        let writes: Vec<u64> = (0..4u64)
+            .flat_map(|w| (0..per_thread).map(move |i| (w << 32) | (i + 1)))
+            .collect();
+        let displaced: Vec<u64> = std::thread::scope(|s| {
+            let hs: Vec<_> = (0..4u64)
+                .map(|w| {
+                    let t = Arc::clone(&t);
+                    s.spawn(move || {
+                        let h = t.pin();
+                        (0..per_thread)
+                            .map(|i| h.upsert(9, (w << 32) | (i + 1)).expect("key stays present"))
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            hs.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let last = t.get(&9).unwrap();
+        // {0} ∪ writes == displaced ∪ {last}: every write is displaced
+        // exactly once except the final survivor.
+        let mut lhs: Vec<u64> = std::iter::once(0).chain(writes).collect();
+        let mut rhs: Vec<u64> = displaced.into_iter().chain(std::iter::once(last)).collect();
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        assert_eq!(lhs, rhs);
+        assert_eq!(t.check_invariants(), 1);
     }
 
     #[test]

@@ -48,6 +48,12 @@ impl<K: Ord + Clone, V: Clone> RwLockTree<K, V> {
         }
     }
 
+    /// Insert or replace, returning the displaced value (atomic under
+    /// the write lock).
+    pub fn upsert(&self, k: K, v: V) -> Option<V> {
+        self.inner.write().insert(k, v)
+    }
+
     /// Remove; `true` iff the key was present.
     pub fn delete(&self, k: &K) -> bool {
         self.inner.write().remove(k).is_some()
@@ -128,6 +134,12 @@ impl<K: Ord + Clone, V: Clone> MutexTree<K, V> {
         } else {
             false
         }
+    }
+
+    /// Insert or replace, returning the displaced value (atomic under
+    /// the lock).
+    pub fn upsert(&self, k: K, v: V) -> Option<V> {
+        self.inner.lock().insert(k, v)
     }
 
     /// Remove; `true` iff the key was present.

@@ -1,0 +1,116 @@
+//! Pinned session handle for [`NbBst`], mirroring `pnb_bst::Handle` so
+//! the benchmark harness drives both trees through the same
+//! guard-amortized hot path (otherwise the baseline would pay a per-op
+//! epoch pin that the structure under test no longer pays, skewing the
+//! cost-of-persistence comparison).
+
+use crossbeam_epoch::{self as epoch, Guard};
+
+use crate::tree::NbBst;
+
+/// A pinned session on an [`NbBst`]: one epoch guard amortized over any
+/// number of operations. Not `Send`; create one per thread.
+///
+/// NB-BST has no range queries or snapshots — that is the point of the
+/// baseline — so the session surface is exactly the point-operation set.
+///
+/// # Example
+///
+/// ```
+/// use nb_bst::NbBst;
+///
+/// let t: NbBst<u32, u32> = NbBst::new();
+/// let h = t.pin();
+/// assert!(h.insert(1, 10));
+/// assert_eq!(h.get(&1), Some(10));
+/// assert!(h.delete(&1));
+/// ```
+pub struct Handle<'t, K, V> {
+    tree: &'t NbBst<K, V>,
+    guard: Guard,
+}
+
+impl<K, V> NbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Pin the current thread's epoch and return a session [`Handle`].
+    pub fn pin(&self) -> Handle<'_, K, V> {
+        Handle {
+            tree: self,
+            guard: epoch::pin(),
+        }
+    }
+}
+
+impl<'t, K, V> Handle<'t, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// The underlying tree.
+    pub fn tree(&self) -> &'t NbBst<K, V> {
+        self.tree
+    }
+
+    /// Lookup; see [`NbBst::get`].
+    pub fn get(&self, k: &K) -> Option<V> {
+        self.tree.get_in(k, &self.guard)
+    }
+
+    /// Membership test; see [`NbBst::contains`].
+    pub fn contains(&self, k: &K) -> bool {
+        self.tree.contains_in(k, &self.guard)
+    }
+
+    /// Insert without replacement; see [`NbBst::insert`].
+    pub fn insert(&self, k: K, v: V) -> bool {
+        self.tree.insert_in(&k, &v, &self.guard)
+    }
+
+    /// Remove; `true` iff present. See [`NbBst::delete`].
+    pub fn delete(&self, k: &K) -> bool {
+        self.remove(k).is_some()
+    }
+
+    /// Remove returning the value; see [`NbBst::remove`].
+    pub fn remove(&self, k: &K) -> Option<V> {
+        self.tree.remove_in(k, &self.guard)
+    }
+
+    /// Re-pin the session's guard so reclamation can advance; call
+    /// between batches in long-lived loops.
+    pub fn refresh(&mut self) {
+        self.guard.repin();
+    }
+}
+
+impl<K, V> std::fmt::Debug for Handle<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_matches_per_op_api() {
+        let t: NbBst<u32, u32> = NbBst::new();
+        let mut h = t.pin();
+        for k in 0..200 {
+            assert!(h.insert(k, k * 2));
+            if k.is_multiple_of(32) {
+                h.refresh();
+            }
+        }
+        assert!(!h.insert(5, 99));
+        assert_eq!(h.get(&5), Some(10));
+        assert!(h.contains(&199));
+        assert_eq!(h.remove(&5), Some(10));
+        assert!(!h.delete(&5));
+        assert_eq!(h.tree().check_invariants(), 199);
+    }
+}

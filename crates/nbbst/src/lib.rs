@@ -30,6 +30,8 @@
 #![warn(rust_2018_idioms)]
 
 mod base;
+mod handle;
 mod tree;
 
+pub use handle::Handle;
 pub use tree::NbBst;

@@ -104,8 +104,15 @@ where
     }
 
     /// Lookup (the original wait-free-per-traversal `Find`).
+    ///
+    /// Compat wrapper: pins an epoch guard per call; hot loops should
+    /// use a pinned session ([`pin`](Self::pin)).
     pub fn get(&self, k: &K) -> Option<V> {
         let guard = &epoch::pin();
+        self.get_in(k, guard)
+    }
+
+    pub(crate) fn get_in(&self, k: &K, guard: &Guard) -> Option<V> {
         let s = self.search(k, guard);
         let l = unsafe { s.l.deref() };
         if l.key.fin_eq(k) {
@@ -116,19 +123,31 @@ where
     }
 
     /// Membership test.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn contains(&self, k: &K) -> bool {
         let guard = &epoch::pin();
+        self.contains_in(k, guard)
+    }
+
+    pub(crate) fn contains_in(&self, k: &K, guard: &Guard) -> bool {
         let s = self.search(k, guard);
         unsafe { s.l.deref() }.key.fin_eq(k)
     }
 
     /// Insert; `false` if the key is present (no replace).
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn insert(&self, k: K, v: V) -> bool {
         let guard = &epoch::pin();
+        self.insert_in(&k, &v, guard)
+    }
+
+    pub(crate) fn insert_in(&self, k: &K, v: &V, guard: &Guard) -> bool {
         loop {
-            let s = self.search(&k, guard);
+            let s = self.search(k, guard);
             let l_ref = unsafe { s.l.deref() };
-            if l_ref.key.fin_eq(&k) {
+            if l_ref.key.fin_eq(k) {
                 return false;
             }
             if s.pupdate.state != state::CLEAN {
@@ -141,7 +160,7 @@ where
                 Box::into_raw(Box::new(Node::leaf(SKey::Fin(k.clone()), Some(v.clone()))));
             let new_sibling: NodePtr<K, V> =
                 Box::into_raw(Box::new(Node::leaf(l_ref.key.clone(), l_ref.value.clone())));
-            let k_lt_l = l_ref.key.fin_lt(&k);
+            let k_lt_l = l_ref.key.fin_lt(k);
             let (lc, rc) = if k_lt_l {
                 (new_leaf, new_sibling)
             } else {
@@ -184,13 +203,21 @@ where
     }
 
     /// Delete; `true` if the key was present.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn delete(&self, k: &K) -> bool {
         self.remove(k).is_some()
     }
 
     /// Delete returning the removed value.
+    ///
+    /// Compat wrapper: pins per call; see [`pin`](Self::pin).
     pub fn remove(&self, k: &K) -> Option<V> {
         let guard = &epoch::pin();
+        self.remove_in(k, guard)
+    }
+
+    pub(crate) fn remove_in(&self, k: &K, guard: &Guard) -> Option<V> {
         loop {
             let s = self.search(k, guard);
             let l_ref = unsafe { s.l.deref() };

@@ -18,7 +18,7 @@ use serde::Serialize;
 use crate::dist::KeyDist;
 use crate::mix::{Mix, Op};
 use crate::runner::prefill;
-use crate::ConcurrentMap;
+use crate::{CapabilityError, ConcurrentMap, MapSession};
 
 /// Number of log₂ buckets: covers 1 ns … ~18 s.
 const BUCKETS: usize = 64;
@@ -120,21 +120,23 @@ pub struct LatencyReport {
 }
 
 /// Run a mixed workload for `duration` on `threads` workers, recording
-/// per-class operation latencies. The map is prefilled to 50%.
-pub fn run_latency<M: ConcurrentMap + ?Sized>(
+/// per-class operation latencies. The map is prefilled to 50%. The mix
+/// is checked against the structure's capabilities before anything runs.
+pub fn run_latency<M: ConcurrentMap>(
     map: &M,
     threads: usize,
     duration: Duration,
     key_dist: &KeyDist,
     mix: Mix,
     seed: u64,
-) -> LatencyReport {
+) -> Result<LatencyReport, CapabilityError> {
+    map.capabilities().check(&mix, map.name())?;
     prefill(map, key_dist.key_space(), 0.5, seed);
     let stop = AtomicBool::new(false);
     let start_line = std::sync::Barrier::new(threads + 1);
 
-    // One histogram per class: ins/del/find/scan.
-    let per_thread: Vec<[LatencyHistogram; 4]> = std::thread::scope(|s| {
+    // One histogram per class: ins/ups/del/find/scan.
+    let per_thread: Vec<[LatencyHistogram; 5]> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let stop = &stop;
@@ -143,7 +145,8 @@ pub fn run_latency<M: ConcurrentMap + ?Sized>(
                 let seed = seed + 17 * (tid as u64 + 1);
                 s.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed);
-                    let mut hists: [LatencyHistogram; 4] = Default::default();
+                    let mut hists: [LatencyHistogram; 5] = Default::default();
+                    let mut session = map.pin();
                     start_line.wait();
                     while !stop.load(Ordering::Relaxed) {
                         for _ in 0..32 {
@@ -152,25 +155,31 @@ pub fn run_latency<M: ConcurrentMap + ?Sized>(
                             let t0 = Instant::now();
                             let class = match op {
                                 Op::Insert => {
-                                    std::hint::black_box(map.insert(k, k));
+                                    std::hint::black_box(session.insert(k, k));
                                     0
                                 }
-                                Op::Delete => {
-                                    std::hint::black_box(map.delete(&k));
+                                Op::Upsert => {
+                                    std::hint::black_box(session.upsert(k, k));
                                     1
                                 }
-                                Op::Find => {
-                                    std::hint::black_box(map.get(&k));
+                                Op::Delete => {
+                                    std::hint::black_box(session.delete(&k));
                                     2
+                                }
+                                Op::Find => {
+                                    std::hint::black_box(session.get(&k));
+                                    3
                                 }
                                 Op::RangeScan => {
                                     let hi = k.saturating_add(mix.range_width.saturating_sub(1));
-                                    std::hint::black_box(map.range_scan(&k, &hi));
-                                    3
+                                    std::hint::black_box(session.range_scan(&k, &hi));
+                                    4
                                 }
                             };
                             hists[class].record(t0.elapsed());
                         }
+                        // Outside the timing windows: reclamation catch-up.
+                        session.refresh();
                     }
                     hists
                 })
@@ -182,13 +191,13 @@ pub fn run_latency<M: ConcurrentMap + ?Sized>(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let mut merged: [LatencyHistogram; 4] = Default::default();
+    let mut merged: [LatencyHistogram; 5] = Default::default();
     for hs in &per_thread {
         for (m, h) in merged.iter_mut().zip(hs.iter()) {
             m.merge(h);
         }
     }
-    let labels = ["insert", "delete", "find", "range_scan"];
+    let labels = ["insert", "upsert", "delete", "find", "range_scan"];
     let classes = merged
         .iter()
         .zip(labels)
@@ -198,11 +207,11 @@ pub fn run_latency<M: ConcurrentMap + ?Sized>(
             (label.to_string(), h.len(), p50, p99, p999)
         })
         .collect();
-    LatencyReport {
+    Ok(LatencyReport {
         name: map.name().to_string(),
         threads,
         classes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -254,21 +263,35 @@ mod tests {
 
     #[test]
     fn latency_driver_produces_all_classes() {
+        use crate::Caps;
         use std::collections::BTreeMap;
         use std::sync::Mutex;
         struct M(Mutex<BTreeMap<u64, u64>>);
+        struct S<'a>(&'a M);
+        impl MapSession for S<'_> {
+            fn insert(&mut self, k: u64, v: u64) -> bool {
+                self.0 .0.lock().unwrap().insert(k, v).is_none()
+            }
+            fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+                self.0 .0.lock().unwrap().insert(k, v)
+            }
+            fn delete(&mut self, k: &u64) -> bool {
+                self.0 .0.lock().unwrap().remove(k).is_some()
+            }
+            fn get(&mut self, k: &u64) -> Option<u64> {
+                self.0 .0.lock().unwrap().get(k).copied()
+            }
+            fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
+                self.0 .0.lock().unwrap().range(*lo..=*hi).count()
+            }
+        }
         impl ConcurrentMap for M {
-            fn insert(&self, k: u64, v: u64) -> bool {
-                self.0.lock().unwrap().insert(k, v).is_none()
+            type Session<'a> = S<'a>;
+            fn pin(&self) -> S<'_> {
+                S(self)
             }
-            fn delete(&self, k: &u64) -> bool {
-                self.0.lock().unwrap().remove(k).is_some()
-            }
-            fn get(&self, k: &u64) -> Option<u64> {
-                self.0.lock().unwrap().get(k).copied()
-            }
-            fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
-                self.0.lock().unwrap().range(*lo..=*hi).count()
+            fn capabilities(&self) -> Caps {
+                Caps::all()
             }
             fn name(&self) -> &'static str {
                 "test-map"
@@ -282,9 +305,10 @@ mod tests {
             &KeyDist::uniform(512),
             Mix::with_ranges(16),
             9,
-        );
+        )
+        .expect("caps cover the mix");
         assert_eq!(rep.threads, 2);
-        assert_eq!(rep.classes.len(), 4, "all four op classes sampled");
+        assert_eq!(rep.classes.len(), 4, "the four mixed classes sampled");
         for (label, count, p50, p99, p999) in &rep.classes {
             assert!(*count > 0, "{label} unsampled");
             assert!(p50 <= p99 && p99 <= p999, "{label} percentiles ordered");

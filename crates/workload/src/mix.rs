@@ -8,6 +8,8 @@ use rand::Rng;
 pub enum Op {
     /// Insert a key.
     Insert,
+    /// Atomic insert-or-replace.
+    Upsert,
     /// Delete a key.
     Delete,
     /// Point lookup.
@@ -21,6 +23,8 @@ pub enum Op {
 pub struct Mix {
     /// Percent inserts.
     pub insert: u32,
+    /// Percent atomic upserts.
+    pub upsert: u32,
     /// Percent deletes.
     pub delete: u32,
     /// Percent point lookups.
@@ -32,15 +36,31 @@ pub struct Mix {
 }
 
 impl Mix {
-    /// Build a mix; the four percentages must sum to 100.
+    /// Build a mix without upserts; the four percentages must sum
+    /// to 100.
     pub fn new(insert: u32, delete: u32, find: u32, range: u32, range_width: u64) -> Self {
+        Self::with_upserts(insert, 0, delete, find, range, range_width)
+    }
+
+    /// Build a mix including atomic upserts; the five percentages must
+    /// sum to 100. Structures driven with `upsert > 0` must declare the
+    /// upsert capability or the drivers reject the configuration.
+    pub fn with_upserts(
+        insert: u32,
+        upsert: u32,
+        delete: u32,
+        find: u32,
+        range: u32,
+        range_width: u64,
+    ) -> Self {
         assert_eq!(
-            insert + delete + find + range,
+            insert + upsert + delete + find + range,
             100,
             "mix percentages must sum to 100"
         );
         Mix {
             insert,
+            upsert,
             delete,
             find,
             range,
@@ -68,9 +88,20 @@ impl Mix {
         Mix::new(10, 10, 30, 50, range_width)
     }
 
+    /// Write-heavy key-value service mix: upserts instead of
+    /// set-semantics inserts (25u/25d/50f).
+    pub fn upsert_heavy() -> Self {
+        Mix::with_upserts(0, 25, 25, 50, 0, 0)
+    }
+
     /// Whether this mix issues range queries.
     pub fn uses_ranges(&self) -> bool {
         self.range > 0
+    }
+
+    /// Whether this mix issues atomic upserts.
+    pub fn uses_upserts(&self) -> bool {
+        self.upsert > 0
     }
 
     /// Draw the next operation.
@@ -79,9 +110,11 @@ impl Mix {
         let x = rng.gen_range(0..100u32);
         if x < self.insert {
             Op::Insert
-        } else if x < self.insert + self.delete {
+        } else if x < self.insert + self.upsert {
+            Op::Upsert
+        } else if x < self.insert + self.upsert + self.delete {
             Op::Delete
-        } else if x < self.insert + self.delete + self.find {
+        } else if x < self.insert + self.upsert + self.delete + self.find {
             Op::Find
         } else {
             Op::RangeScan
@@ -103,7 +136,7 @@ mod tests {
             Mix::with_ranges(100),
             Mix::scan_heavy(1000),
         ] {
-            assert_eq!(m.insert + m.delete + m.find + m.range, 100);
+            assert_eq!(m.insert + m.upsert + m.delete + m.find + m.range, 100);
         }
     }
 
@@ -115,23 +148,41 @@ mod tests {
 
     #[test]
     fn sample_frequencies_roughly_match() {
-        let m = Mix::new(20, 30, 40, 10, 64);
+        let m = Mix::with_upserts(15, 5, 30, 40, 10, 64);
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         let n = 100_000;
         for _ in 0..n {
             match m.sample(&mut rng) {
                 Op::Insert => counts[0] += 1,
-                Op::Delete => counts[1] += 1,
-                Op::Find => counts[2] += 1,
-                Op::RangeScan => counts[3] += 1,
+                Op::Upsert => counts[1] += 1,
+                Op::Delete => counts[2] += 1,
+                Op::Find => counts[3] += 1,
+                Op::RangeScan => counts[4] += 1,
             }
         }
         let pct = |c: usize| c as f64 / n as f64 * 100.0;
-        assert!((pct(counts[0]) - 20.0).abs() < 1.5);
-        assert!((pct(counts[1]) - 30.0).abs() < 1.5);
-        assert!((pct(counts[2]) - 40.0).abs() < 1.5);
-        assert!((pct(counts[3]) - 10.0).abs() < 1.5);
+        assert!((pct(counts[0]) - 15.0).abs() < 1.5);
+        assert!((pct(counts[1]) - 5.0).abs() < 1.5);
+        assert!((pct(counts[2]) - 30.0).abs() < 1.5);
+        assert!((pct(counts[3]) - 40.0).abs() < 1.5);
+        assert!((pct(counts[4]) - 10.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn upsert_preset_uses_upserts() {
+        let m = Mix::upsert_heavy();
+        assert!(m.uses_upserts());
+        assert!(!m.uses_ranges());
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut saw_upsert = false;
+        for _ in 0..1_000 {
+            let op = m.sample(&mut rng);
+            assert_ne!(op, Op::Insert);
+            assert_ne!(op, Op::RangeScan);
+            saw_upsert |= op == Op::Upsert;
+        }
+        assert!(saw_upsert);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::Serialize;
 
 use crate::dist::KeyDist;
 use crate::mix::{Mix, Op};
-use crate::ConcurrentMap;
+use crate::{CapabilityError, ConcurrentMap, MapSession};
 
 /// Configuration for one throughput run.
 #[derive(Clone, Debug)]
@@ -58,6 +58,8 @@ pub struct Measurement {
     pub elapsed_secs: f64,
     /// Completed operations by type.
     pub inserts: u64,
+    /// Completed upserts.
+    pub upserts: u64,
     /// Completed deletes.
     pub deletes: u64,
     /// Completed finds.
@@ -75,6 +77,7 @@ pub struct Measurement {
 #[derive(Default)]
 struct Counts {
     inserts: u64,
+    upserts: u64,
     deletes: u64,
     finds: u64,
     scans: u64,
@@ -86,24 +89,31 @@ struct Counts {
 /// ascending prefill would degenerate the unbalanced leaf-oriented BSTs
 /// into an O(n)-deep spine, which is not the setbench steady state —
 /// random insertion order yields the expected O(log n) depth.
-pub fn prefill<M: ConcurrentMap + ?Sized>(map: &M, key_space: u64, fraction: f64, seed: u64) {
+pub fn prefill<M: ConcurrentMap>(map: &M, key_space: u64, fraction: f64, seed: u64) {
     use rand::seq::SliceRandom;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut keys: Vec<u64> = (0..key_space).collect();
     keys.shuffle(&mut rng);
     let target = (key_space as f64 * fraction).round() as usize;
-    for &k in keys.iter().take(target) {
-        map.insert(k, k);
+    let mut session = map.pin();
+    for (i, &k) in keys.iter().take(target).enumerate() {
+        session.insert(k, k);
+        if (i + 1).is_multiple_of(1024) {
+            session.refresh();
+        }
     }
 }
 
 /// Run the timed workload; returns aggregate counts and throughput.
-pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Measurement {
-    assert!(
-        !cfg.mix.uses_ranges() || map.supports_range_scan(),
-        "{} does not support range scans",
-        map.name()
-    );
+///
+/// The mix is checked against the structure's declared capabilities
+/// *before* any operation runs; a mismatch is a configuration error, not
+/// a mid-run panic.
+pub fn run_throughput<M: ConcurrentMap>(
+    map: &M,
+    cfg: &RunConfig,
+) -> Result<Measurement, CapabilityError> {
+    map.capabilities().check(&cfg.mix, map.name())?;
     let key_space = cfg.key_dist.key_space();
     prefill(map, key_space, cfg.prefill_fraction, cfg.seed);
 
@@ -122,6 +132,9 @@ pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Me
                 s.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed);
                     let mut c = Counts::default();
+                    // One pinned session for the whole run: the per-op
+                    // guard churn never lands on the measured path.
+                    let mut session = map.pin();
                     start_line.wait();
                     while !stop.load(Ordering::Relaxed) {
                         // Batch 64 ops per stop-flag check to keep the
@@ -130,24 +143,30 @@ pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Me
                             let k = dist.sample(&mut rng);
                             match mix.sample(&mut rng) {
                                 Op::Insert => {
-                                    map.insert(k, k);
+                                    session.insert(k, k);
                                     c.inserts += 1;
                                 }
+                                Op::Upsert => {
+                                    std::hint::black_box(session.upsert(k, k));
+                                    c.upserts += 1;
+                                }
                                 Op::Delete => {
-                                    map.delete(&k);
+                                    session.delete(&k);
                                     c.deletes += 1;
                                 }
                                 Op::Find => {
-                                    std::hint::black_box(map.get(&k));
+                                    std::hint::black_box(session.get(&k));
                                     c.finds += 1;
                                 }
                                 Op::RangeScan => {
                                     let hi = k.saturating_add(mix.range_width.saturating_sub(1));
-                                    c.scanned_keys += map.range_scan(&k, &hi) as u64;
+                                    c.scanned_keys += session.range_scan(&k, &hi) as u64;
                                     c.scans += 1;
                                 }
                             }
                         }
+                        // Between batches: let epoch reclamation advance.
+                        session.refresh();
                     }
                     c
                 })
@@ -168,6 +187,7 @@ pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Me
         threads: cfg.threads,
         elapsed_secs: elapsed.as_secs_f64(),
         inserts: 0,
+        upserts: 0,
         deletes: 0,
         finds: 0,
         scans: 0,
@@ -177,14 +197,15 @@ pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Me
     };
     for c in totals {
         m.inserts += c.inserts;
+        m.upserts += c.upserts;
         m.deletes += c.deletes;
         m.finds += c.finds;
         m.scans += c.scans;
         m.scanned_keys += c.scanned_keys;
     }
-    m.total_ops = m.inserts + m.deletes + m.finds + m.scans;
+    m.total_ops = m.inserts + m.upserts + m.deletes + m.finds + m.scans;
     m.ops_per_sec = m.total_ops as f64 / m.elapsed_secs;
-    m
+    Ok(m)
 }
 
 /// Run a *fixed amount of work* (`ops_per_thread` operations on each of
@@ -193,7 +214,12 @@ pub fn run_throughput<M: ConcurrentMap + ?Sized>(map: &M, cfg: &RunConfig) -> Me
 /// [`run_throughput`] (Criterion measures time-per-batch; the timed
 /// variant is for the standalone experiment tables). The map must
 /// already be prefilled.
-pub fn run_fixed_ops<M: ConcurrentMap + ?Sized>(
+///
+/// # Panics
+///
+/// If the mix asks for an operation the structure does not declare
+/// (checked before any worker starts; see [`Caps::check`](crate::Caps)).
+pub fn run_fixed_ops<M: ConcurrentMap>(
     map: &M,
     threads: usize,
     ops_per_thread: u64,
@@ -201,6 +227,9 @@ pub fn run_fixed_ops<M: ConcurrentMap + ?Sized>(
     dist: &KeyDist,
     seed: u64,
 ) -> Duration {
+    map.capabilities()
+        .check(&mix, map.name())
+        .expect("mix/capability mismatch");
     let start_line = std::sync::Barrier::new(threads + 1);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -210,23 +239,33 @@ pub fn run_fixed_ops<M: ConcurrentMap + ?Sized>(
                 let seed = seed + tid as u64 + 1;
                 s.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut session = map.pin();
                     start_line.wait();
+                    let mut since_refresh = 0u32;
                     for _ in 0..ops_per_thread {
                         let k = dist.sample(&mut rng);
                         match mix.sample(&mut rng) {
                             Op::Insert => {
-                                std::hint::black_box(map.insert(k, k));
+                                std::hint::black_box(session.insert(k, k));
+                            }
+                            Op::Upsert => {
+                                std::hint::black_box(session.upsert(k, k));
                             }
                             Op::Delete => {
-                                std::hint::black_box(map.delete(&k));
+                                std::hint::black_box(session.delete(&k));
                             }
                             Op::Find => {
-                                std::hint::black_box(map.get(&k));
+                                std::hint::black_box(session.get(&k));
                             }
                             Op::RangeScan => {
                                 let hi = k.saturating_add(mix.range_width.saturating_sub(1));
-                                std::hint::black_box(map.range_scan(&k, &hi));
+                                std::hint::black_box(session.range_scan(&k, &hi));
                             }
+                        }
+                        since_refresh += 1;
+                        if since_refresh == 64 {
+                            session.refresh();
+                            since_refresh = 0;
                         }
                     }
                 })
@@ -289,11 +328,15 @@ pub struct ScanUpdaterMeasurement {
 }
 
 /// Run the scan/update interference experiment.
-pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
+pub fn run_scan_updater<M: ConcurrentMap>(
     map: &M,
     cfg: &ScanUpdaterConfig,
-) -> ScanUpdaterMeasurement {
-    assert!(map.supports_range_scan());
+) -> Result<ScanUpdaterMeasurement, CapabilityError> {
+    if !map.capabilities().range_scan {
+        return Err(CapabilityError::RangeScan {
+            structure: map.name(),
+        });
+    }
     prefill(map, cfg.key_space, 0.5, cfg.seed);
 
     let stop = AtomicBool::new(false);
@@ -311,17 +354,19 @@ pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
                 s.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(seed);
                     let mut ops = 0u64;
+                    let mut session = map.pin();
                     start_line.wait();
                     while !stop.load(Ordering::Relaxed) {
                         for _ in 0..64 {
                             let k = rng.gen_range(0..n);
                             if rng.gen_bool(0.5) {
-                                map.insert(k, k);
+                                session.insert(k, k);
                             } else {
-                                map.delete(&k);
+                                session.delete(&k);
                             }
                             ops += 1;
                         }
+                        session.refresh();
                     }
                     ops
                 })
@@ -345,10 +390,12 @@ pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
                     };
                     let mut scans = 0u64;
                     let mut keys = 0u64;
+                    let mut session = map.pin();
                     start_line.wait();
                     while !stop.load(Ordering::Relaxed) {
-                        keys += map.range_scan(&lo, &hi) as u64;
+                        keys += session.range_scan(&lo, &hi) as u64;
                         scans += 1;
+                        session.refresh();
                     }
                     (scans, keys)
                 })
@@ -371,7 +418,7 @@ pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
     let scan_ops: u64 = scan_results.iter().map(|(s, _)| s).sum();
     let scanned_keys: u64 = scan_results.iter().map(|(_, k)| k).sum();
     let secs = elapsed.as_secs_f64();
-    ScanUpdaterMeasurement {
+    Ok(ScanUpdaterMeasurement {
         name: map.name().to_string(),
         updaters: cfg.updaters,
         scanners: cfg.scanners,
@@ -382,21 +429,25 @@ pub fn run_scan_updater<M: ConcurrentMap + ?Sized>(
         elapsed_secs: secs,
         updates_per_sec: update_ops as f64 / secs,
         scans_per_sec: scan_ops as f64 / secs,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Caps;
     use std::collections::BTreeMap;
     use std::sync::Mutex;
 
     /// A trivial reference structure to exercise the driver itself.
     struct LockedMap(Mutex<BTreeMap<u64, u64>>);
 
-    impl ConcurrentMap for LockedMap {
-        fn insert(&self, k: u64, v: u64) -> bool {
-            let mut m = self.0.lock().unwrap();
+    /// Trivial session: lock-based maps have no guard to amortize.
+    struct LockedSession<'a>(&'a LockedMap);
+
+    impl MapSession for LockedSession<'_> {
+        fn insert(&mut self, k: u64, v: u64) -> bool {
+            let mut m = self.0 .0.lock().unwrap();
             if let std::collections::btree_map::Entry::Vacant(e) = m.entry(k) {
                 e.insert(v);
                 true
@@ -404,14 +455,31 @@ mod tests {
                 false
             }
         }
-        fn delete(&self, k: &u64) -> bool {
-            self.0.lock().unwrap().remove(k).is_some()
+        fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+            self.0 .0.lock().unwrap().insert(k, v)
         }
-        fn get(&self, k: &u64) -> Option<u64> {
-            self.0.lock().unwrap().get(k).copied()
+        fn delete(&mut self, k: &u64) -> bool {
+            self.0 .0.lock().unwrap().remove(k).is_some()
         }
-        fn range_scan(&self, lo: &u64, hi: &u64) -> usize {
-            self.0.lock().unwrap().range(*lo..=*hi).count()
+        fn get(&mut self, k: &u64) -> Option<u64> {
+            self.0 .0.lock().unwrap().get(k).copied()
+        }
+        fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
+            self.0 .0.lock().unwrap().range(*lo..=*hi).count()
+        }
+    }
+
+    impl ConcurrentMap for LockedMap {
+        type Session<'a> = LockedSession<'a>;
+        fn pin(&self) -> LockedSession<'_> {
+            LockedSession(self)
+        }
+        fn capabilities(&self) -> Caps {
+            Caps {
+                range_scan: true,
+                upsert: true,
+                snapshot: false,
+            }
         }
         fn name(&self) -> &'static str {
             "locked-btreemap"
@@ -435,16 +503,31 @@ mod tests {
             KeyDist::uniform(1_000),
             Mix::with_ranges(16),
         );
-        let meas = run_throughput(&m, &cfg);
+        let meas = run_throughput(&m, &cfg).expect("caps cover the mix");
         assert_eq!(meas.threads, 2);
         assert!(meas.total_ops > 0);
         assert_eq!(
             meas.total_ops,
-            meas.inserts + meas.deletes + meas.finds + meas.scans
+            meas.inserts + meas.upserts + meas.deletes + meas.finds + meas.scans
         );
         assert!(meas.ops_per_sec > 0.0);
         // Mix shares should be roughly honoured.
         assert!(meas.finds > meas.scans);
+    }
+
+    #[test]
+    fn throughput_run_drives_upserts() {
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        let cfg = RunConfig::new(
+            2,
+            Duration::from_millis(60),
+            KeyDist::uniform(512),
+            Mix::upsert_heavy(),
+        );
+        let meas = run_throughput(&m, &cfg).unwrap();
+        assert!(meas.upserts > 0);
+        assert_eq!(meas.inserts, 0);
+        assert_eq!(meas.scans, 0);
     }
 
     #[test]
@@ -458,42 +541,83 @@ mod tests {
             disjoint: true,
             seed: 3,
         };
-        let meas = run_scan_updater(&m, &cfg);
+        let meas = run_scan_updater(&m, &cfg).expect("range-capable");
         assert!(meas.update_ops > 0);
         assert!(meas.scan_ops > 0);
         assert!(meas.scanned_keys > 0);
     }
 
-    #[test]
-    #[should_panic(expected = "does not support range scans")]
-    fn range_mix_on_scanless_structure_panics() {
-        struct NoScan;
-        impl ConcurrentMap for NoScan {
-            fn insert(&self, _: u64, _: u64) -> bool {
-                true
-            }
-            fn delete(&self, _: &u64) -> bool {
-                false
-            }
-            fn get(&self, _: &u64) -> Option<u64> {
-                None
-            }
-            fn range_scan(&self, _: &u64, _: &u64) -> usize {
-                0
-            }
-            fn supports_range_scan(&self) -> bool {
-                false
-            }
-            fn name(&self) -> &'static str {
-                "noscan"
-            }
+    /// A structure that declares point ops only.
+    struct NoScan;
+    struct NoScanSession;
+    impl MapSession for NoScanSession {
+        fn insert(&mut self, _: u64, _: u64) -> bool {
+            true
         }
+        fn upsert(&mut self, _: u64, _: u64) -> Option<u64> {
+            None
+        }
+        fn delete(&mut self, _: &u64) -> bool {
+            false
+        }
+        fn get(&mut self, _: &u64) -> Option<u64> {
+            None
+        }
+        fn range_scan(&mut self, _: &u64, _: &u64) -> usize {
+            0
+        }
+    }
+    impl ConcurrentMap for NoScan {
+        type Session<'a> = NoScanSession;
+        fn pin(&self) -> NoScanSession {
+            NoScanSession
+        }
+        fn capabilities(&self) -> Caps {
+            Caps::point_ops()
+        }
+        fn name(&self) -> &'static str {
+            "noscan"
+        }
+    }
+
+    #[test]
+    fn unsupported_mixes_fail_typed_at_config_time() {
         let cfg = RunConfig::new(
             1,
             Duration::from_millis(10),
             KeyDist::uniform(10),
             Mix::with_ranges(4),
         );
-        let _ = run_throughput(&NoScan, &cfg);
+        assert_eq!(
+            run_throughput(&NoScan, &cfg).unwrap_err(),
+            CapabilityError::RangeScan {
+                structure: "noscan"
+            }
+        );
+        let cfg = RunConfig::new(
+            1,
+            Duration::from_millis(10),
+            KeyDist::uniform(10),
+            Mix::upsert_heavy(),
+        );
+        assert_eq!(
+            run_throughput(&NoScan, &cfg).unwrap_err(),
+            CapabilityError::Upsert {
+                structure: "noscan"
+            }
+        );
+        let err = run_scan_updater(
+            &NoScan,
+            &ScanUpdaterConfig {
+                updaters: 1,
+                scanners: 1,
+                duration: Duration::from_millis(10),
+                key_space: 16,
+                disjoint: false,
+                seed: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("noscan"));
     }
 }

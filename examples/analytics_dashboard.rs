@@ -37,6 +37,9 @@ fn main() {
             let clock = Arc::clone(&clock);
             let stop = Arc::clone(&stop);
             thread::spawn(move || {
+                // Ingest is the hot path: one pinned session, refreshed
+                // every batch, instead of a guard pin per order.
+                let mut session = index.pin();
                 let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1);
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -45,8 +48,11 @@ fn main() {
                         .wrapping_mul(6364136223846793005)
                         .wrapping_add(1442695040888963407);
                     let cents = 100 + (x >> 33) % 10_000;
-                    index.insert(ts, cents);
+                    session.insert(ts, cents);
                     n += 1;
+                    if n.is_multiple_of(64) {
+                        session.refresh();
+                    }
                 }
                 n
             })
@@ -63,19 +69,17 @@ fn main() {
             while !stop.load(Ordering::Relaxed) {
                 let now = clock.load(Ordering::Relaxed);
                 let lo = now.saturating_sub(WINDOW);
-                // One linearizable, wait-free scan per report.
-                let mut count = 0u64;
-                let mut sum = 0u64;
-                let mut max = 0u64;
-                index.range_scan_with(
-                    std::ops::Bound::Included(&lo),
-                    std::ops::Bound::Included(&now),
-                    |_, &cents| {
-                        count += 1;
-                        sum += cents;
-                        max = max.max(cents);
-                    },
-                );
+                // One linearizable, wait-free lazy scan per report —
+                // the aggregate folds the iterator without ever
+                // materializing the window.
+                let session = index.pin();
+                let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+                for (_, cents) in session.range(lo..=now) {
+                    count += 1;
+                    sum += cents;
+                    max = max.max(cents);
+                }
+                drop(session);
                 if count > 0 && reports.is_multiple_of(50) {
                     println!(
                         "[dashboard] window [{lo}, {now}]: {count} orders, avg {:.2}¢, max {max}¢",

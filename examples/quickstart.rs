@@ -14,20 +14,39 @@ fn main() {
     // the paper's set semantics (no replacement).
     let tree: Arc<PnbBst<u64, String>> = Arc::new(PnbBst::new());
 
-    // --- Single-threaded basics -------------------------------------
-    assert!(tree.insert(20, "twenty".into()));
-    assert!(tree.insert(10, "ten".into()));
-    assert!(tree.insert(30, "thirty".into()));
-    assert!(!tree.insert(20, "again".into())); // duplicate: rejected
+    // --- Sessions: the hot-path API ---------------------------------
+    // `pin()` takes one epoch guard for any number of operations (the
+    // per-call methods further down pin per call — fine for occasional
+    // use, wasteful in loops).
+    let h = tree.pin();
+    assert!(h.insert(20, "twenty".into()));
+    assert!(h.insert(10, "ten".into()));
+    assert!(h.insert(30, "thirty".into()));
+    assert!(!h.insert(20, "again".into())); // duplicate: rejected
 
+    // Atomic insert-or-replace returns the displaced value:
+    assert_eq!(h.upsert(20, "TWENTY".into()).as_deref(), Some("twenty"));
+    assert_eq!(h.upsert(40, "forty".into()), None); // was absent
+
+    assert_eq!(h.get(&10).as_deref(), Some("ten"));
+    assert!(h.contains(&30));
+    assert_eq!(h.remove(&30).as_deref(), Some("thirty"));
+    assert_eq!(h.get(&30), None);
+    assert_eq!(h.remove(&40).as_deref(), Some("forty"));
+
+    // Wait-free, lazy range iteration over any RangeBounds — nothing is
+    // materialized; each `next()` walks the immutable version tree:
+    h.insert(15, "fifteen".into());
+    h.insert(25, "twenty-five".into());
+    let range: Vec<u64> = h.range(10..=20).map(|(k, _)| k).collect();
+    assert_eq!(range, vec![10, 15, 20]);
+    assert_eq!(h.range(11..).count(), 3); // 15, 20, 25
+    assert_eq!(h.iter().next().map(|(k, _)| k), Some(10)); // lazy: O(depth)
+    drop(h);
+
+    // --- Per-call compat API ----------------------------------------
+    // The paper-literal methods still exist (each pins internally):
     assert_eq!(tree.get(&10).as_deref(), Some("ten"));
-    assert!(tree.contains(&30));
-    assert_eq!(tree.remove(&30).as_deref(), Some("thirty"));
-    assert_eq!(tree.get(&30), None);
-
-    // Wait-free, linearizable range queries (ascending order):
-    tree.insert(15, "fifteen".into());
-    tree.insert(25, "twenty-five".into());
     let range: Vec<u64> = tree
         .range_scan(&10, &20)
         .into_iter()
@@ -45,17 +64,26 @@ fn main() {
     tree.insert(99, "late".into());
     assert_eq!(snap.get(&99), None); // the snapshot predates 99
     assert_eq!(tree.get(&99).as_deref(), Some("late"));
+    // Snapshots iterate lazily too, over their frozen version:
+    let frozen_keys: Vec<u64> = snap.range(..).map(|(k, _)| k).collect();
+    assert_eq!(frozen_keys, vec![10, 15, 20, 25]);
     println!("snapshot of phase {} holds {} keys", snap.seq(), snap.len());
     drop(snap);
 
     // --- Concurrency ------------------------------------------------
     // Writers on disjoint stripes + a scanner, all lock-free/wait-free.
+    // Each writer pins one session for its whole stripe and refreshes
+    // periodically so memory reclamation keeps up.
     let writers: Vec<_> = (0..4u64)
         .map(|w| {
             let tree = Arc::clone(&tree);
             thread::spawn(move || {
+                let mut session = tree.pin();
                 for i in 0..1_000 {
-                    tree.insert(1_000 * (w + 1) + i, format!("w{w}-{i}"));
+                    session.insert(1_000 * (w + 1) + i, format!("w{w}-{i}"));
+                    if (i + 1).is_multiple_of(64) {
+                        session.refresh();
+                    }
                 }
             })
         })
@@ -68,11 +96,12 @@ fn main() {
     for w in writers {
         w.join().unwrap();
     }
-    assert_eq!(tree.scan_count(&1_000, &5_999), 4_000);
+    let h = tree.pin();
+    assert_eq!(h.scan_count(&1_000, &5_999), 4_000);
     println!(
         "final size: {} keys across phases 0..{}",
-        tree.len(),
-        tree.phase()
+        h.len(),
+        h.phase()
     );
     println!("quickstart OK");
 }

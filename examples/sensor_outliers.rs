@@ -35,6 +35,9 @@ fn main() {
             let index = Arc::clone(&index);
             let stop = Arc::clone(&stop);
             thread::spawn(move || {
+                // One pinned session per sensor thread: ingest is the
+                // hot path, so the epoch guard is amortized.
+                let mut session = index.pin();
                 let mut x = 0xC0FFEEu64.wrapping_add(id as u64);
                 let mut produced = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -51,8 +54,11 @@ fn main() {
                     // Perturb equal values so distinct readings coexist
                     // (set semantics).
                     let key = value * 16 + (x % 16);
-                    index.insert(key, id);
+                    session.insert(key, id);
                     produced += 1;
+                    if produced.is_multiple_of(64) {
+                        session.refresh();
+                    }
                 }
                 produced
             })
@@ -66,20 +72,21 @@ fn main() {
         let stop = Arc::clone(&stop);
         thread::spawn(move || {
             let mut evicted = 0u64;
+            let mut session = index.pin();
             while !stop.load(Ordering::Relaxed) {
-                if index.len() > 4_000 {
-                    // Scan a band and delete every other key in it.
-                    let victims: Vec<u64> = index
-                        .range_scan(&0, &(CENTER * 16))
-                        .into_iter()
-                        .step_by(2)
-                        .map(|(k, _)| k)
-                        .collect();
-                    for k in victims {
-                        if index.delete(&k) {
+                if session.len() > 4_000 {
+                    // Lazily walk a band and delete every other key —
+                    // no victim list is ever materialized: the Range
+                    // iterator reads a closed phase, so deleting through
+                    // the same session mid-iteration is safe.
+                    let mut parity = false;
+                    for (k, _) in session.range(0..=CENTER * 16) {
+                        parity = !parity;
+                        if parity && session.delete(&k) {
                             evicted += 1;
                         }
                     }
+                    session.refresh();
                 } else {
                     thread::sleep(Duration::from_millis(5));
                 }
@@ -99,11 +106,17 @@ fn main() {
                 // Take a snapshot so candidate selection and the density
                 // queries see one consistent world.
                 let snap = index.snapshot();
-                let sample = snap.range_scan(&((CENTER + 1_500) * 16), &(u64::MAX / 2));
-                for (key, _sensor) in sample.iter().take(16) {
+                // Lazy candidate sampling: `take(16)` touches O(depth +
+                // 16) nodes, not the whole spike band.
+                let sample: Vec<u64> = snap
+                    .range((CENTER + 1_500) * 16..=u64::MAX / 2)
+                    .take(16)
+                    .map(|(k, _)| k)
+                    .collect();
+                for key in sample {
                     let lo = key.saturating_sub(EPS * 16);
                     let hi = key.saturating_add(EPS * 16);
-                    let density = snap.range_scan(&lo, &hi).len();
+                    let density = snap.range(lo..=hi).count();
                     if density < PI {
                         outliers += 1;
                     } else {

@@ -31,12 +31,15 @@ fn main() {
             thread::spawn(move || {
                 let from = i * 2;
                 let to = i * 2 + 1;
-                // Move 30 units from `from` to `to` (insert-only API:
-                // delete + reinsert with the new balance).
-                let a = accounts.remove(&from).unwrap();
-                let b = accounts.remove(&to).unwrap();
-                accounts.insert(from, a - 30);
-                accounts.insert(to, b + 30);
+                // Move 30 units from `from` to `to`: one pinned session,
+                // atomic per-account `upsert`s (the pre-handle API had to
+                // delete + reinsert, leaving a window with the account
+                // missing entirely).
+                let h = accounts.pin();
+                let a = h.get(&from).unwrap();
+                let b = h.get(&to).unwrap();
+                assert_eq!(h.upsert(from, a - 30), Some(a));
+                assert_eq!(h.upsert(to, b + 30), Some(b));
             })
         })
         .collect();
@@ -72,13 +75,11 @@ fn main() {
     assert_eq!(v2.get(&1), None, "v2 saw account 1 closed");
     assert_eq!(v2.len(), 4);
 
-    // Diff two versions with a merge-walk over their ordered dumps.
-    let before = v1.to_vec();
-    let after = v2.to_vec();
-    let closed: Vec<u32> = before
+    // Diff two versions lazily: walk v1's ordered iterator and probe v2.
+    let closed: Vec<u32> = v1
         .iter()
-        .filter(|(k, _)| !after.iter().any(|(k2, _)| k2 == k))
-        .map(|(k, _)| *k)
+        .map(|(k, _)| k)
+        .filter(|k| v2.get(k).is_none())
         .collect();
     println!("accounts closed between v1 and v2: {closed:?}");
     assert_eq!(closed, vec![1, 3, 5, 7]);

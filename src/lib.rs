@@ -7,7 +7,8 @@
 //! have a single import root:
 //!
 //! * [`PnbBst`] / [`PnbBstSet`] / [`Snapshot`] — the paper's structure
-//!   (crate `pnb-bst`).
+//!   (crate `pnb-bst`), plus the pinned-session [`Handle`] and lazy
+//!   [`Range`] iterator.
 //! * [`NbBst`] — the PODC 2010 substrate it extends (crate `nb-bst`).
 //! * [`RwLockTree`] / [`MutexTree`] / [`SeqBst`] — baselines (crate
 //!   `lock-bst`).
@@ -22,6 +23,6 @@
 pub use lock_bst::seq::SeqBst;
 pub use lock_bst::{MutexTree, RwLockTree};
 pub use nb_bst::NbBst;
-pub use pnb_bst::{PnbBst, PnbBstSet, Snapshot, StatsSnapshot};
+pub use pnb_bst::{Handle, PnbBst, PnbBstSet, Range, Snapshot, StatsSnapshot};
 
 pub use workload;

@@ -1,7 +1,8 @@
 //! Property-based schedules of *suspended* updates.
 //!
 //! Each generated schedule interleaves normal operations with paused
-//! ones (updates suspended right after their first freeze CAS), periodic
+//! ones (inserts, deletes and upserts suspended right after their first
+//! freeze CAS), periodic
 //! scans (which handshake-abort pre-handshake attempts), helps-by-read,
 //! and resumes — a deterministic, single-threaded exploration of the
 //! protocol's decision tree. After every step the tree must agree with a
@@ -30,6 +31,7 @@ enum Step {
     Delete(u8),
     PausedInsert(u8),
     PausedDelete(u8),
+    PausedUpsert(u8),
     /// `get` on the key of the oldest in-flight paused op (forces a
     /// help-to-commit).
     HelpOldest,
@@ -45,28 +47,63 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         3 => (0u8..32).prop_map(Step::Delete),
         2 => (0u8..32).prop_map(Step::PausedInsert),
         2 => (0u8..32).prop_map(Step::PausedDelete),
+        2 => (0u8..32).prop_map(Step::PausedUpsert),
         2 => Just(Step::HelpOldest),
         2 => Just(Step::Scan),
         2 => Just(Step::ResumeOldest),
     ]
 }
 
+/// Which paused operation is in flight (determines the linearization
+/// rule applied to the model when it commits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpClass {
+    Insert,
+    Delete,
+    Upsert,
+}
+
 struct InFlight<'t> {
     handle: PausedUpdate<'t, u8, u16>,
     key: u8,
-    is_insert: bool,
+    class: OpClass,
     value: u16,
+    /// Whether the key was present in the model when the op published
+    /// (drives the upsert commit assertion: replace ⇔ key was present).
+    key_was_present: bool,
 }
 
 /// Apply a committed paused op to the model.
-fn settle(model: &mut BTreeMap<u8, u16>, key: u8, is_insert: bool, value: u16, committed: bool) {
-    if committed {
-        if is_insert {
+fn settle(
+    model: &mut BTreeMap<u8, u16>,
+    key: u8,
+    class: OpClass,
+    value: u16,
+    key_was_present: bool,
+    committed: bool,
+) {
+    if !committed {
+        return;
+    }
+    match class {
+        OpClass::Insert => {
             let prev = model.insert(key, value);
             assert!(prev.is_none(), "paused insert committed over existing key");
-        } else {
+        }
+        OpClass::Delete => {
             let prev = model.remove(&key);
             assert!(prev.is_some(), "paused delete committed on missing key");
+        }
+        OpClass::Upsert => {
+            // The paused upsert linearizes at its (already performed)
+            // first freeze CAS: the shape it published (insert vs
+            // replace) was decided by the key's presence at that moment.
+            let prev = model.insert(key, value);
+            assert_eq!(
+                prev.is_some(),
+                key_was_present,
+                "upsert shape must match presence at publish time"
+            );
         }
     }
 }
@@ -127,7 +164,13 @@ proptest! {
                         PauseOutcome::Paused(h) => {
                             // The attempt may have helped others while searching.
                             settle_decided(&tree, &mut model, &mut inflight);
-                            inflight.push(InFlight { handle: h, key: k, is_insert: true, value: stamp });
+                            inflight.push(InFlight {
+                                handle: h,
+                                key: k,
+                                class: OpClass::Insert,
+                                value: stamp,
+                                key_was_present: false,
+                            });
                         }
                     }
                 }
@@ -143,7 +186,37 @@ proptest! {
                         }
                         PauseOutcome::Paused(h) => {
                             settle_decided(&tree, &mut model, &mut inflight);
-                            inflight.push(InFlight { handle: h, key: k, is_insert: false, value: 0 });
+                            inflight.push(InFlight {
+                                handle: h,
+                                key: k,
+                                class: OpClass::Delete,
+                                value: 0,
+                                key_was_present: true,
+                            });
+                        }
+                    }
+                }
+                Step::PausedUpsert(k) => {
+                    if inflight.iter().any(|o| o.key == k) {
+                        continue;
+                    }
+                    let present = model.contains_key(&k);
+                    match tree.upsert_paused(k, stamp) {
+                        PauseOutcome::Completed(_) => {
+                            unreachable!("upsert always publishes (both shapes mutate)")
+                        }
+                        PauseOutcome::Paused(h) => {
+                            settle_decided(&tree, &mut model, &mut inflight);
+                            // `present` is still accurate: settle_decided
+                            // only applies ops on other keys (nothing on
+                            // key k is in flight by the guard above).
+                            inflight.push(InFlight {
+                                handle: h,
+                                key: k,
+                                class: OpClass::Upsert,
+                                value: stamp,
+                                key_was_present: present,
+                            });
                         }
                     }
                 }
@@ -174,17 +247,18 @@ proptest! {
                     if inflight.is_empty() {
                         continue;
                     }
-                    let InFlight { handle, key, is_insert, value } = inflight.remove(0);
+                    let InFlight { handle, key, class, value, key_was_present } =
+                        inflight.remove(0);
                     let committed = handle.resume();
-                    settle(&mut model, key, is_insert, value, committed);
+                    settle(&mut model, key, class, value, key_was_present, committed);
                 }
             }
         }
 
         // Drain the remaining in-flight operations.
-        for InFlight { handle, key, is_insert, value } in inflight.drain(..) {
+        for InFlight { handle, key, class, value, key_was_present } in inflight.drain(..) {
             let committed = handle.resume();
-            settle(&mut model, key, is_insert, value, committed);
+            settle(&mut model, key, class, value, key_was_present, committed);
         }
         let expect: Vec<(u8, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         prop_assert_eq!(tree.to_vec(), expect, "final content");
@@ -206,10 +280,11 @@ fn settle_decided(
                 let InFlight {
                     handle,
                     key,
-                    is_insert,
+                    class,
                     value,
+                    key_was_present,
                 } = inflight.remove(i);
-                settle(model, key, is_insert, value, true);
+                settle(model, key, class, value, key_was_present, true);
                 // Creator-side cleanup (discovers the commit).
                 assert!(handle.resume());
             }
@@ -217,10 +292,11 @@ fn settle_decided(
                 let InFlight {
                     handle,
                     key,
-                    is_insert,
+                    class,
                     value,
+                    key_was_present,
                 } = inflight.remove(i);
-                settle(model, key, is_insert, value, false);
+                settle(model, key, class, value, key_was_present, false);
                 // The creator must still reclaim the aborted subtree.
                 assert!(!handle.resume());
             }

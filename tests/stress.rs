@@ -353,3 +353,76 @@ fn scan_completes_under_sustained_update_load() {
     }
     tree.check_invariants();
 }
+
+/// One long-lived pinned `Handle` drives a mixed read/upsert loop while
+/// every other thread churns the same key space through its own
+/// session. Checks that (a) the handle survives arbitrarily many
+/// operations with periodic `refresh`, (b) its lazy range iterations
+/// keep observing the permanent keys, and (c) upserts through the
+/// handle are atomic (a displaced value is always one somebody wrote).
+#[test]
+fn long_lived_handle_under_churn() {
+    const SPACE: u64 = 4_096;
+    let tree = Arc::new(PnbBst::<u64, u64>::new());
+    // Even keys are permanent; only odd keys churn.
+    for k in (0..SPACE).step_by(2) {
+        tree.insert(k, k);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let updaters: Vec<_> = (0..(threads() - 1).max(1))
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut session = tree.pin();
+                let mut x = (t as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut n = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let k = ((x >> 33) % SPACE) | 1; // odd keys only
+                    if x & 2 == 0 {
+                        session.upsert(k, x);
+                    } else {
+                        session.delete(&k);
+                    }
+                    n = n.wrapping_add(1);
+                    if n.is_multiple_of(64) {
+                        session.refresh();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The long-lived handle: one pin, many thousands of operations.
+    let mut handle = tree.pin();
+    for round in 0..scaled(300) {
+        // Point reads: permanent keys are always visible.
+        let k = (round * 2) % SPACE;
+        assert_eq!(handle.get(&k), Some(k), "permanent key {k} vanished");
+        // Lazy range over a window: all evens in the window, in order.
+        let lo = (round * 97) % (SPACE - 256);
+        let lo = lo - lo % 2;
+        let mut prev = None;
+        let mut evens = 0usize;
+        for (k, _) in handle.range(lo..lo + 256) {
+            assert!(prev.is_none_or(|p| p < k), "range out of order");
+            prev = Some(k);
+            if k % 2 == 0 {
+                evens += 1;
+            }
+        }
+        assert_eq!(evens, 128, "window [{lo}, {lo}+256) lost an even key");
+        // Atomic upsert through the handle on a contended odd key.
+        let contended = ((round * 31) % SPACE) | 1;
+        let _ = handle.upsert(contended, u64::MAX - round);
+        handle.refresh();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in updaters {
+        h.join().unwrap();
+    }
+    let evens = tree.pin().iter().filter(|(k, _)| k % 2 == 0).count();
+    assert_eq!(evens, (SPACE / 2) as usize);
+    tree.check_invariants();
+}

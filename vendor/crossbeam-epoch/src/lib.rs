@@ -188,6 +188,23 @@ impl Local {
         }
     }
 
+    fn repin(&self) {
+        // Only safe when this is the thread's sole guard: a nested guard
+        // may rely on the older published epoch.
+        if self.guard_count.get() == 1 {
+            self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
+            let g = global();
+            loop {
+                let e = g.epoch.load(Ordering::SeqCst);
+                self.participant.epoch.store(e, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                if g.epoch.load(Ordering::SeqCst) == e {
+                    break;
+                }
+            }
+        }
+    }
+
     fn defer(&self, d: Deferred) {
         let mut bag = self.bag.borrow_mut();
         bag.push(d);
@@ -301,6 +318,18 @@ impl Guard {
     pub fn flush(&self) {
         if self.protected {
             LOCAL.with(|l| l.flush());
+        }
+    }
+
+    /// Unpin and immediately re-pin the current thread (upstream
+    /// `Guard::repin`): republishes the participant's epoch so the
+    /// collector can advance past garbage retired since the original
+    /// pin. A no-op when other guards on this thread still hold an older
+    /// pin (their protection must not be weakened), and on the
+    /// unprotected guard.
+    pub fn repin(&mut self) {
+        if self.protected {
+            LOCAL.with(|l| l.repin());
         }
     }
 }

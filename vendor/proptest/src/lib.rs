@@ -332,7 +332,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 
     /// Namespaced re-exports (`prop::collection::vec`, ...).
     pub mod prop {
@@ -402,6 +402,18 @@ macro_rules! prop_oneof {
 #[macro_export]
 macro_rules! prop_assert {
     ($($tokens:tt)+) => { assert!($($tokens)+) };
+}
+
+/// Discard the current case when the assumption does not hold. Upstream
+/// resamples a replacement input; this shim simply skips the case (the
+/// case count includes skipped cases, which is fine at our scales).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
 }
 
 /// Property equality assertion (panics on failure in this shim).
