@@ -1,0 +1,64 @@
+//! E8r — collector reclamation scaling (extension; not a paper
+//! experiment). A retire-heavy update mix (50% insert / 50% delete)
+//! over a deliberately tiny key range, so nearly every committed update
+//! unlinks nodes and pushes garbage through the epoch collector: this
+//! measures the *collector's* hot paths (pin, defer, seal, collect)
+//! under contention, at 1/2/4/8/16 threads.
+//!
+//! Before the collector rewrite this curve measured two global mutexes
+//! (participant registry + garbage queue); with the lock-free list +
+//! Michael–Scott queue the collector scales with the tree (old-vs-new
+//! numbers are documented in DESIGN.md §3.4). Both epoch-based trees
+//! run, so a collector regression shows up twice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Nb, Pnb};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+/// Small enough that churn dominates and retirement is constant.
+const KEY_RANGE: u64 = 1_024;
+const OPS_PER_THREAD: u64 = 10_000;
+
+fn bench_structure<M: ConcurrentMap>(c: &mut Criterion, map: &M) {
+    let mut group = c.benchmark_group(format!("e8_reclamation/range_{KEY_RANGE}"));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dist = KeyDist::uniform(KEY_RANGE);
+    prefill(map, KEY_RANGE, 0.5, 42);
+    for threads in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(
+                            map,
+                            threads,
+                            OPS_PER_THREAD,
+                            Mix::update_only(),
+                            &dist,
+                            42 + i,
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e8_reclamation(c: &mut Criterion) {
+    let pnb = Pnb::new();
+    bench_structure(c, &pnb);
+    let nb = Nb::new();
+    bench_structure(c, &nb);
+}
+
+criterion_group!(benches, e8_reclamation);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Regenerate the paper-protocol experiment tables (E1–E8).
+//! Regenerate the paper-protocol experiment tables (E1–E8, plus the
+//! E8r collector-reclamation extension).
 //!
 //! ```text
 //! cargo run --release -p pnbbst-bench --bin experiments            # full sweep
@@ -44,7 +45,7 @@ fn main() {
         })
         .map(|s| s.as_str())
         .collect();
-    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r"];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
     } else {
@@ -73,8 +74,9 @@ fn main() {
             "e6" => experiments::e6(&opts, &mut log),
             "e7" => experiments::e7(&opts, &mut log),
             "e8" => experiments::e8(&opts, &mut log),
+            "e8r" => experiments::e8r(&opts, &mut log),
             other => {
-                eprintln!("unknown experiment: {other} (expected e1..e8)");
+                eprintln!("unknown experiment: {other} (expected e1..e8, e8r)");
                 std::process::exit(2);
             }
         };

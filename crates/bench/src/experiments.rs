@@ -1,4 +1,5 @@
-//! Experiment definitions E1–E8 (see DESIGN.md §4): each function runs
+//! Experiment definitions E1–E8 plus the E8r collector extension (see
+//! DESIGN.md §4): each function runs
 //! one experiment family, renders a markdown section with the same
 //! rows/series the paper's evaluation protocol reports, and appends
 //! machine-readable rows to a [`json::JsonLog`] so CI can record
@@ -493,6 +494,98 @@ pub fn e8(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out
 }
 
+/// Collector counters bracketing a measured run: deltas of (bags
+/// sealed, bags freed, advance attempts, advance successes). All zeros
+/// without the `stats` build.
+fn collector_delta<T>(run: impl FnOnce() -> T) -> (T, [u64; 4]) {
+    #[cfg(feature = "stats")]
+    {
+        let b = pnb_bst::collector_stats();
+        let out = run();
+        let a = pnb_bst::collector_stats();
+        (
+            out,
+            [
+                a.bags_sealed - b.bags_sealed,
+                a.bags_freed - b.bags_freed,
+                a.advance_attempts - b.advance_attempts,
+                a.advance_successes - b.advance_successes,
+            ],
+        )
+    }
+    #[cfg(not(feature = "stats"))]
+    {
+        (run(), [0; 4])
+    }
+}
+
+/// E8r (extension) — collector reclamation scaling: a retire-heavy
+/// update mix (50i/50d) over a tiny key range, so nearly every
+/// committed update pushes garbage through the epoch collector. This is
+/// the workload that used to measure the reclamation shim's two global
+/// mutexes rather than the tree; with the lock-free collector the curve
+/// tracks the structure. With `--features stats` the table also shows
+/// the collector at work (bags sealed/freed, epoch advances).
+pub fn e8r(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    let kr: u64 = 1_024;
+    let threads: Vec<usize> = if opts.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let stats_enabled = cfg!(feature = "stats");
+    let mut out = format!(
+        "\n### E8r — Collector reclamation scaling (50i/50d, key range {kr})\n\n\
+         | structure | threads | throughput | bags sealed | bags freed | advances (ok/try) |\n\
+         |---|---|---|---|---|---|\n"
+    );
+    let structures = [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::Nb(adapters::Nb::new()),
+    ];
+    for s in &structures {
+        for &t in &threads {
+            let cfg = RunConfig::new(t, opts.duration(), KeyDist::uniform(kr), Mix::update_only());
+            eprintln!("  {} / {t} threads (retire-heavy) ...", s.name());
+            let (m, d) = collector_delta(|| {
+                s.run_throughput(&cfg)
+                    .expect("update-only mix needs only point ops")
+            });
+            log.push(
+                "e8r",
+                &[
+                    ("structure", Val::s(&m.name)),
+                    ("threads", Val::U(t as u64)),
+                    ("key_range", Val::U(kr)),
+                    ("stats_enabled", Val::B(stats_enabled)),
+                    ("total_ops", Val::U(m.total_ops)),
+                    ("ops_per_sec", Val::F(m.ops_per_sec)),
+                    ("bags_sealed", Val::U(d[0])),
+                    ("bags_freed", Val::U(d[1])),
+                    ("advance_attempts", Val::U(d[2])),
+                    ("advance_successes", Val::U(d[3])),
+                ],
+            );
+            out.push_str(&format!(
+                "| {} | {t} | {} | {} | {} | {}/{} |\n",
+                m.name,
+                fmt_tput(m.ops_per_sec),
+                d[0],
+                d[1],
+                d[3],
+                d[2],
+            ));
+        }
+    }
+    if !stats_enabled {
+        out.push_str(
+            "\n*(collector columns are all zero: rebuild with `--features \
+             stats` to watch the collector work)*\n",
+        );
+    }
+    out
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000 {
         format!("{:.1} ms", ns as f64 / 1e6)
@@ -552,6 +645,19 @@ mod tests {
         assert!(s.contains("rwlock-btreemap"));
         assert!(s.contains("range_scan"));
         assert!(log.len() >= 8); // ≥4 op classes × 2 structures
+    }
+
+    #[test]
+    fn e8r_reports_collector_scaling_rows() {
+        let mut log = JsonLog::new();
+        let s = e8r(&tiny(), &mut log);
+        assert!(s.contains("pnb-bst"));
+        assert!(s.contains("nb-bst"));
+        // 2 structures × 3 thread counts in quick mode.
+        assert_eq!(log.len(), 6);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e8r\""));
+        assert!(rendered.contains("\"bags_sealed\""));
     }
 
     #[test]

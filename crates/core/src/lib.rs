@@ -99,7 +99,9 @@
 //! ## Feature flags
 //!
 //! * `stats` — cheap atomic counters for helping/abort/CAS-failure
-//!   events, for ablation studies. Off by default.
+//!   events, for ablation studies, plus the epoch collector's
+//!   process-global counters (`collector_stats`, re-exported from the
+//!   reclamation layer). Off by default.
 //! * `testing-internals` — deterministic fault injection
 //!   (`testing::PausedUpdate`): suspend an update right after it
 //!   becomes visible, to exercise helping and crash tolerance.
@@ -131,3 +133,9 @@ pub use set::PnbBstSet;
 pub use snapshot::Snapshot;
 pub use stats::StatsSnapshot;
 pub use tree::PnbBst;
+
+/// Epoch-collector statistics (bags sealed/freed, advance
+/// attempts/successes), re-exported from the reclamation layer. The
+/// counters are process-global and monotone: assert on deltas.
+#[cfg(feature = "stats")]
+pub use crossbeam_epoch::{collector_stats, CollectorStats};

@@ -1,0 +1,231 @@
+//! Tagged atomic pointers: [`Atomic`], [`Shared`] and the
+//! [`CompareExchangeError`] of a failed CAS.
+//!
+//! These are plain words — an `Atomic<T>` does not own its pointee; the
+//! obligations of dereferencing live on the unsafe [`Shared::deref`].
+//! The lock-free structures inside this crate (the participant list and
+//! the sealed-bag queue) are built from the very same primitives the
+//! trees above it use.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[inline]
+fn low_bits<T>() -> usize {
+    std::mem::align_of::<T>() - 1
+}
+
+/// A tagged shared pointer valid for the lifetime of a guard.
+pub struct Shared<'g, T> {
+    data: usize,
+    _marker: PhantomData<(&'g (), *const T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+impl<T> std::fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Shared({:p}, tag {})", self.as_raw(), self.tag())
+    }
+}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null pointer (tag 0).
+    pub fn null() -> Self {
+        Shared {
+            data: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn from_data(data: usize) -> Self {
+        Shared {
+            data,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The untagged raw pointer.
+    #[inline]
+    pub fn as_raw(&self) -> *const T {
+        (self.data & !low_bits::<T>()) as *const T
+    }
+
+    /// The tag stored in the pointer's low (alignment) bits.
+    #[inline]
+    pub fn tag(&self) -> usize {
+        self.data & low_bits::<T>()
+    }
+
+    /// The same pointer with the given tag.
+    #[inline]
+    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+        Shared::from_data((self.data & !low_bits::<T>()) | (tag & low_bits::<T>()))
+    }
+
+    /// Whether the (untagged) pointer is null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.as_raw().is_null()
+    }
+
+    /// Dereference the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and point to memory kept alive for
+    /// `'g` (reachable under the pinning guard, or owned by the caller).
+    #[inline]
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.as_raw()
+    }
+}
+
+impl<T> From<*const T> for Shared<'_, T> {
+    fn from(raw: *const T) -> Self {
+        debug_assert_eq!(
+            raw as usize & low_bits::<T>(),
+            0,
+            "raw pointer carries tag bits"
+        );
+        Shared::from_data(raw as usize)
+    }
+}
+
+/// An atomic tagged pointer to `T`. Does not own the pointee.
+pub struct Atomic<T> {
+    data: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: Atomic is a word of tagged-pointer bits; sharing the *word* is
+// always safe — dereferencing the pointee is what carries obligations,
+// and those live on the unsafe `Shared::deref`.
+unsafe impl<T> Send for Atomic<T> {}
+unsafe impl<T> Sync for Atomic<T> {}
+
+/// The error of a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub fn null() -> Self {
+        Atomic {
+            data: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Load the current value.
+    #[inline]
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g crate::Guard) -> Shared<'g, T> {
+        Shared::from_data(self.data.load(ord))
+    }
+
+    /// Store a new value.
+    #[inline]
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.data.store(new.data, ord);
+    }
+
+    /// Compare-and-exchange on the full tagged word.
+    #[inline]
+    pub fn compare_exchange<'g>(
+        &self,
+        current: Shared<'_, T>,
+        new: Shared<'_, T>,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g crate::Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T>> {
+        match self
+            .data
+            .compare_exchange(current.data, new.data, success, failure)
+        {
+            Ok(prev) => Ok(Shared::from_data(prev)),
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared::from_data(actual),
+            }),
+        }
+    }
+}
+
+impl<T> From<Shared<'_, T>> for Atomic<T> {
+    fn from(s: Shared<'_, T>) -> Self {
+        Atomic {
+            data: AtomicUsize::new(s.data),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pin;
+
+    #[test]
+    fn tag_roundtrip() {
+        let b = Box::new(0u64);
+        let raw: *const u64 = &*b;
+        let s = Shared::from(raw);
+        assert_eq!(s.tag(), 0);
+        let t = s.with_tag(1);
+        assert_eq!(t.tag(), 1);
+        assert_eq!(t.as_raw(), raw);
+        assert_eq!(t.with_tag(0), s);
+    }
+
+    #[test]
+    fn cas_on_tagged_word() {
+        let b = Box::new(7u64);
+        let raw: *const u64 = &*b;
+        let a: Atomic<u64> = Atomic::null();
+        let g = pin();
+        assert!(a
+            .compare_exchange(
+                Shared::null(),
+                Shared::from(raw).with_tag(1),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                &g
+            )
+            .is_ok());
+        let cur = a.load(Ordering::SeqCst, &g);
+        assert_eq!(cur.tag(), 1);
+        assert_eq!(cur.as_raw(), raw);
+        // Untagged expected value must fail against the tagged word.
+        let err = a
+            .compare_exchange(
+                Shared::from(raw),
+                Shared::null(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                &g,
+            )
+            .unwrap_err();
+        assert_eq!(err.current.tag(), 1);
+    }
+}

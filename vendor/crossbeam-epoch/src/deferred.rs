@@ -1,0 +1,67 @@
+//! Type-erased deferred destructions.
+//!
+//! A [`Deferred`] is the unit of garbage: a `(data, call)` pair erased
+//! from a concrete `Box<T>` allocation. Bags of these flow through the
+//! lock-free global queue (`queue.rs`) until the epoch protocol proves
+//! no reader can still hold the pointer, at which point [`Deferred::run`]
+//! executes the destructor.
+
+/// A type-erased deferred destruction of one `Box<T>` allocation.
+pub(crate) struct Deferred {
+    data: *mut (),
+    call: unsafe fn(*mut ()),
+}
+
+// SAFETY: deferred destructions may be executed by any thread once the
+// epoch protocol proves no reader can still hold the pointer. The data
+// structures built on this shim declare their own `Send`/`Sync` bounds
+// (values crossing threads require `Send + Sync` at the container level).
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Erase a `Box<T>`-owned allocation into a deferred destruction.
+    ///
+    /// The returned value takes logical ownership: exactly one `run`
+    /// must eventually execute (the queue guarantees this — a bag is
+    /// popped by exactly one collector).
+    pub(crate) fn drop_box<T>(ptr: *mut T) -> Deferred {
+        unsafe fn call<T>(p: *mut ()) {
+            drop(Box::from_raw(p as *mut T));
+        }
+        Deferred {
+            data: ptr as *mut (),
+            call: call::<T>,
+        }
+    }
+
+    /// Execute the destruction.
+    pub(crate) fn run(self) {
+        // SAFETY: constructed from a matching (data, call) pair.
+        unsafe { (self.call)(self.data) }
+    }
+}
+
+/// A sealed garbage bag travelling through the global queue.
+pub(crate) type Bag = Vec<Deferred>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn drop_box_runs_the_destructor_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let before = DROPS.load(Ordering::SeqCst);
+        let d = Deferred::drop_box(Box::into_raw(Box::new(D)));
+        assert_eq!(DROPS.load(Ordering::SeqCst), before);
+        d.run();
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+}

@@ -1,6 +1,6 @@
-//! Offline shim for `crossbeam-epoch`: a working epoch-based memory
-//! reclamation scheme exposing the subset of the upstream API this
-//! workspace uses.
+//! Offline shim for `crossbeam-epoch`: a **lock-free** epoch-based
+//! memory reclamation scheme exposing the subset of the upstream API
+//! this workspace uses.
 //!
 //! The scheme is the classic three-epoch design:
 //!
@@ -9,565 +9,54 @@
 //! * garbage bags sealed with the epoch current at defer time, freed only
 //!   once the global epoch has advanced at least two steps past the seal
 //!   (at which point no pinned thread can still hold a reference);
-//! * the global epoch advances only when every currently-pinned
-//!   participant has caught up to it, so a long-lived `Guard` (e.g. a
+//! * the global epoch advances only when every currently-pinned live
+//!   participant has caught up to it, so a long-lived [`Guard`] (e.g. a
 //!   tree snapshot) blocks reclamation of everything retired after its
 //!   pin — which is exactly the protection it needs.
 //!
+//! Unlike its pre-rewrite incarnation (one global `Mutex` around the
+//! participant registry and another around a garbage `VecDeque`), every
+//! hot path is mutex-free:
+//!
+//! * the participant registry is a **lock-free intrusive list**
+//!   (`list.rs`): registration is a head-insert CAS, thread exit is a
+//!   tombstone bit on the node's own link, and physical unlinking
+//!   happens en passant during `try_advance` scans — a thread never
+//!   takes a lock to enter or leave;
+//! * sealed garbage travels through a **Michael–Scott lock-free queue**
+//!   (`queue.rs`) built on this crate's own [`Atomic`]/[`Shared`]
+//!   words, whose retired link nodes are recycled through the epoch
+//!   protocol itself;
+//! * tombstoned participants can never veto epoch advancement, so a
+//!   thread that dies mid-exit cannot wedge collection.
+//!
 //! Deviations from upstream, all intentional simplifications:
 //!
-//! * sealed bags live in one global queue behind a mutex rather than in
-//!   per-thread lock-free queues (correct, slightly more contended);
 //! * `defer_destroy` on the [`unprotected`] guard destroys immediately
 //!   (upstream documents the same behaviour);
 //! * no `Owned`, `Collector` or `LocalHandle` types — this workspace
-//!   does not use them.
+//!   does not use them;
+//! * with the `stats` feature, process-global collector counters
+//!   ([`collector_stats`]) record bags sealed/freed and epoch-advance
+//!   attempts/successes (upstream has no such hook).
 
-use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
-use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+mod atomic;
+mod deferred;
+mod internal;
+mod list;
+mod queue;
+mod stats;
 
+pub use atomic::{Atomic, CompareExchangeError, Shared};
+pub use internal::{pin, registered_participants, unprotected, Guard};
+#[cfg(feature = "stats")]
+pub use stats::{collector_stats, CollectorStats};
 pub use std::sync::atomic::Ordering as MemoryOrdering;
-
-// ---------------------------------------------------------------------------
-// Global + per-thread epoch state
-// ---------------------------------------------------------------------------
-
-/// Sentinel meaning "this participant is not pinned".
-const UNPINNED: usize = usize::MAX;
-
-/// How many deferred items a local bag accumulates before it is sealed
-/// into the global queue and a collection pass is attempted.
-const BAG_SEAL_THRESHOLD: usize = 64;
-
-/// A type-erased deferred destruction.
-struct Deferred {
-    data: *mut (),
-    call: unsafe fn(*mut ()),
-}
-
-// SAFETY: deferred destructions may be executed by any thread once the
-// epoch protocol proves no reader can still hold the pointer. The data
-// structures built on this shim declare their own `Send`/`Sync` bounds
-// (values crossing threads require `Send + Sync` at the container level).
-unsafe impl Send for Deferred {}
-
-impl Deferred {
-    fn run(self) {
-        // SAFETY: constructed from a matching (data, call) pair.
-        unsafe { (self.call)(self.data) }
-    }
-}
-
-/// Per-thread participant state shared with the global registry.
-struct Participant {
-    /// Epoch the owning thread pinned in, or [`UNPINNED`].
-    epoch: AtomicUsize,
-}
-
-struct Global {
-    epoch: AtomicUsize,
-    participants: Mutex<Vec<Arc<Participant>>>,
-    /// Sealed garbage bags: `(seal_epoch, items)`.
-    garbage: Mutex<VecDeque<(usize, Vec<Deferred>)>>,
-}
-
-fn global() -> &'static Global {
-    static GLOBAL: OnceLock<Global> = OnceLock::new();
-    GLOBAL.get_or_init(|| Global {
-        epoch: AtomicUsize::new(0),
-        participants: Mutex::new(Vec::new()),
-        garbage: Mutex::new(VecDeque::new()),
-    })
-}
-
-impl Global {
-    /// Advance the global epoch if every pinned participant has observed
-    /// the current one. Returns the (possibly advanced) epoch.
-    fn try_advance(&self) -> usize {
-        let e = self.epoch.load(Ordering::SeqCst);
-        let participants = self.participants.lock().unwrap();
-        for p in participants.iter() {
-            let pe = p.epoch.load(Ordering::SeqCst);
-            if pe != UNPINNED && pe != e {
-                return e; // a straggler is still in an older epoch
-            }
-        }
-        drop(participants);
-        // A concurrent advance is fine: compare_exchange keeps the epoch
-        // monotone and off-by-one races are conservative.
-        let _ = self
-            .epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
-        self.epoch.load(Ordering::SeqCst)
-    }
-
-    /// Free every sealed bag old enough that no pinned thread can still
-    /// reference its contents.
-    fn collect(&self) {
-        let e = self.try_advance();
-        let ripe: Vec<Vec<Deferred>> = {
-            let mut garbage = self.garbage.lock().unwrap();
-            let mut out = Vec::new();
-            while let Some(&(seal, _)) = garbage.front() {
-                if seal + 2 <= e {
-                    out.push(garbage.pop_front().unwrap().1);
-                } else {
-                    break;
-                }
-            }
-            out
-        };
-        // Run destructors outside the lock.
-        for bag in ripe {
-            for d in bag {
-                d.run();
-            }
-        }
-    }
-
-    fn seal(&self, bag: Vec<Deferred>) {
-        if bag.is_empty() {
-            return;
-        }
-        let seal = self.epoch.load(Ordering::SeqCst);
-        self.garbage.lock().unwrap().push_back((seal, bag));
-    }
-}
-
-/// Thread-local side of a participant.
-struct Local {
-    participant: Arc<Participant>,
-    guard_count: Cell<usize>,
-    bag: RefCell<Vec<Deferred>>,
-}
-
-impl Local {
-    fn register() -> Local {
-        let participant = Arc::new(Participant {
-            epoch: AtomicUsize::new(UNPINNED),
-        });
-        global()
-            .participants
-            .lock()
-            .unwrap()
-            .push(Arc::clone(&participant));
-        Local {
-            participant,
-            guard_count: Cell::new(0),
-            bag: RefCell::new(Vec::new()),
-        }
-    }
-
-    fn pin(&self) {
-        let count = self.guard_count.get();
-        self.guard_count.set(count + 1);
-        if count == 0 {
-            let g = global();
-            // Publish the epoch we pinned in; loop until the published
-            // value is stable against a concurrent advance.
-            loop {
-                let e = g.epoch.load(Ordering::SeqCst);
-                self.participant.epoch.store(e, Ordering::SeqCst);
-                fence(Ordering::SeqCst);
-                if g.epoch.load(Ordering::SeqCst) == e {
-                    break;
-                }
-            }
-        }
-    }
-
-    fn unpin(&self) {
-        let count = self.guard_count.get();
-        debug_assert!(count > 0, "unpin without matching pin");
-        self.guard_count.set(count - 1);
-        if count == 1 {
-            self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
-        }
-    }
-
-    fn repin(&self) {
-        // Only safe when this is the thread's sole guard: a nested guard
-        // may rely on the older published epoch.
-        if self.guard_count.get() == 1 {
-            self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
-            let g = global();
-            loop {
-                let e = g.epoch.load(Ordering::SeqCst);
-                self.participant.epoch.store(e, Ordering::SeqCst);
-                fence(Ordering::SeqCst);
-                if g.epoch.load(Ordering::SeqCst) == e {
-                    break;
-                }
-            }
-        }
-    }
-
-    fn defer(&self, d: Deferred) {
-        let mut bag = self.bag.borrow_mut();
-        bag.push(d);
-        if bag.len() >= BAG_SEAL_THRESHOLD {
-            let sealed = std::mem::take(&mut *bag);
-            drop(bag);
-            let g = global();
-            g.seal(sealed);
-            g.collect();
-        }
-    }
-
-    fn flush(&self) {
-        let sealed = std::mem::take(&mut *self.bag.borrow_mut());
-        let g = global();
-        g.seal(sealed);
-        g.collect();
-    }
-}
-
-impl Drop for Local {
-    fn drop(&mut self) {
-        // Hand any remaining garbage to the global queue so other
-        // threads can free it, and leave the registry.
-        let g = global();
-        g.seal(std::mem::take(&mut *self.bag.borrow_mut()));
-        self.participant.epoch.store(UNPINNED, Ordering::SeqCst);
-        g.participants
-            .lock()
-            .unwrap()
-            .retain(|p| !Arc::ptr_eq(p, &self.participant));
-    }
-}
-
-thread_local! {
-    static LOCAL: Local = Local::register();
-}
-
-// ---------------------------------------------------------------------------
-// Guard
-// ---------------------------------------------------------------------------
-
-/// A pinned-epoch guard. While any guard is alive on a thread, memory
-/// retired after the pin cannot be freed.
-pub struct Guard {
-    protected: bool,
-    /// `Guard` is tied to the thread whose participant it pinned.
-    _not_send: PhantomData<*mut ()>,
-}
-
-/// Pin the current thread and return the guard.
-pub fn pin() -> Guard {
-    LOCAL.with(|l| l.pin());
-    Guard {
-        protected: true,
-        _not_send: PhantomData,
-    }
-}
-
-struct GuardCell(Guard);
-// SAFETY: the unprotected guard carries no per-thread state; every
-// operation on it is thread-agnostic (defers run immediately, flush is a
-// no-op on it).
-unsafe impl Sync for GuardCell {}
-
-static UNPROTECTED_GUARD: GuardCell = GuardCell(Guard {
-    protected: false,
-    _not_send: PhantomData,
-});
-
-/// A dummy guard for contexts where the caller guarantees exclusive
-/// access (e.g. `Drop` with `&mut self`). Deferred destructions through
-/// it run immediately.
-///
-/// # Safety
-///
-/// The caller must guarantee no other thread can access the data being
-/// read or destroyed through this guard.
-pub unsafe fn unprotected() -> &'static Guard {
-    &UNPROTECTED_GUARD.0
-}
-
-impl Guard {
-    /// Defer destruction of the heap allocation behind `ptr` (a
-    /// `Box<T>`-owned allocation) until no pinned thread can reference it.
-    ///
-    /// # Safety
-    ///
-    /// `ptr` must point to a live `Box<T>` allocation that is no longer
-    /// reachable by threads pinning after this call, and must be retired
-    /// at most once.
-    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
-        let raw = ptr.as_raw() as *mut T;
-        debug_assert!(!raw.is_null(), "defer_destroy(null)");
-        unsafe fn drop_box<T>(p: *mut ()) {
-            drop(Box::from_raw(p as *mut T));
-        }
-        let d = Deferred {
-            data: raw as *mut (),
-            call: drop_box::<T>,
-        };
-        if self.protected {
-            LOCAL.with(|l| l.defer(d));
-        } else {
-            d.run();
-        }
-    }
-
-    /// Seal this thread's garbage into the global queue and attempt a
-    /// collection pass.
-    pub fn flush(&self) {
-        if self.protected {
-            LOCAL.with(|l| l.flush());
-        }
-    }
-
-    /// Unpin and immediately re-pin the current thread (upstream
-    /// `Guard::repin`): republishes the participant's epoch so the
-    /// collector can advance past garbage retired since the original
-    /// pin. A no-op when other guards on this thread still hold an older
-    /// pin (their protection must not be weakened), and on the
-    /// unprotected guard.
-    pub fn repin(&mut self) {
-        if self.protected {
-            LOCAL.with(|l| l.repin());
-        }
-    }
-}
-
-impl Drop for Guard {
-    fn drop(&mut self) {
-        if self.protected {
-            LOCAL.with(|l| l.unpin());
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Shared
-// ---------------------------------------------------------------------------
-
-#[inline]
-fn low_bits<T>() -> usize {
-    std::mem::align_of::<T>() - 1
-}
-
-/// A tagged shared pointer valid for the lifetime of a guard.
-pub struct Shared<'g, T> {
-    data: usize,
-    _marker: PhantomData<(&'g (), *const T)>,
-}
-
-impl<T> Clone for Shared<'_, T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for Shared<'_, T> {}
-
-impl<T> PartialEq for Shared<'_, T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.data == other.data
-    }
-}
-impl<T> Eq for Shared<'_, T> {}
-
-impl<T> std::fmt::Debug for Shared<'_, T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Shared({:p}, tag {})", self.as_raw(), self.tag())
-    }
-}
-
-impl<'g, T> Shared<'g, T> {
-    /// The null pointer (tag 0).
-    pub fn null() -> Self {
-        Shared {
-            data: 0,
-            _marker: PhantomData,
-        }
-    }
-
-    #[inline]
-    fn from_data(data: usize) -> Self {
-        Shared {
-            data,
-            _marker: PhantomData,
-        }
-    }
-
-    /// The untagged raw pointer.
-    #[inline]
-    pub fn as_raw(&self) -> *const T {
-        (self.data & !low_bits::<T>()) as *const T
-    }
-
-    /// The tag stored in the pointer's low (alignment) bits.
-    #[inline]
-    pub fn tag(&self) -> usize {
-        self.data & low_bits::<T>()
-    }
-
-    /// The same pointer with the given tag.
-    #[inline]
-    pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
-        Shared::from_data((self.data & !low_bits::<T>()) | (tag & low_bits::<T>()))
-    }
-
-    /// Whether the (untagged) pointer is null.
-    #[inline]
-    pub fn is_null(&self) -> bool {
-        self.as_raw().is_null()
-    }
-
-    /// Dereference the pointer.
-    ///
-    /// # Safety
-    ///
-    /// The pointer must be non-null and point to memory kept alive for
-    /// `'g` (reachable under the pinning guard, or owned by the caller).
-    #[inline]
-    pub unsafe fn deref(&self) -> &'g T {
-        &*self.as_raw()
-    }
-}
-
-impl<T> From<*const T> for Shared<'_, T> {
-    fn from(raw: *const T) -> Self {
-        debug_assert_eq!(
-            raw as usize & low_bits::<T>(),
-            0,
-            "raw pointer carries tag bits"
-        );
-        Shared::from_data(raw as usize)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Atomic
-// ---------------------------------------------------------------------------
-
-/// An atomic tagged pointer to `T`. Does not own the pointee.
-pub struct Atomic<T> {
-    data: AtomicUsize,
-    _marker: PhantomData<*mut T>,
-}
-
-// SAFETY: Atomic is a word of tagged-pointer bits; sharing the *word* is
-// always safe — dereferencing the pointee is what carries obligations,
-// and those live on the unsafe `Shared::deref`.
-unsafe impl<T> Send for Atomic<T> {}
-unsafe impl<T> Sync for Atomic<T> {}
-
-/// The error of a failed [`Atomic::compare_exchange`].
-pub struct CompareExchangeError<'g, T> {
-    /// The value the atomic actually held.
-    pub current: Shared<'g, T>,
-}
-
-impl<T> Atomic<T> {
-    /// A null atomic pointer.
-    pub fn null() -> Self {
-        Atomic {
-            data: AtomicUsize::new(0),
-            _marker: PhantomData,
-        }
-    }
-
-    /// Load the current value.
-    #[inline]
-    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
-        Shared::from_data(self.data.load(ord))
-    }
-
-    /// Store a new value.
-    #[inline]
-    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
-        self.data.store(new.data, ord);
-    }
-
-    /// Compare-and-exchange on the full tagged word.
-    #[inline]
-    pub fn compare_exchange<'g>(
-        &self,
-        current: Shared<'_, T>,
-        new: Shared<'_, T>,
-        success: Ordering,
-        failure: Ordering,
-        _guard: &'g Guard,
-    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T>> {
-        match self
-            .data
-            .compare_exchange(current.data, new.data, success, failure)
-        {
-            Ok(prev) => Ok(Shared::from_data(prev)),
-            Err(actual) => Err(CompareExchangeError {
-                current: Shared::from_data(actual),
-            }),
-        }
-    }
-}
-
-impl<T> From<Shared<'_, T>> for Atomic<T> {
-    fn from(s: Shared<'_, T>) -> Self {
-        Atomic {
-            data: AtomicUsize::new(s.data),
-            _marker: PhantomData,
-        }
-    }
-}
-
-impl<T> std::fmt::Debug for Atomic<T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Atomic({:#x})", self.data.load(Ordering::Relaxed))
-    }
-}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicI64;
-
-    #[test]
-    fn tag_roundtrip() {
-        let b = Box::new(0u64);
-        let raw: *const u64 = &*b;
-        let s = Shared::from(raw);
-        assert_eq!(s.tag(), 0);
-        let t = s.with_tag(1);
-        assert_eq!(t.tag(), 1);
-        assert_eq!(t.as_raw(), raw);
-        assert_eq!(t.with_tag(0), s);
-    }
-
-    #[test]
-    fn cas_on_tagged_word() {
-        let b = Box::new(7u64);
-        let raw: *const u64 = &*b;
-        let a: Atomic<u64> = Atomic::null();
-        let g = pin();
-        assert!(a
-            .compare_exchange(
-                Shared::null(),
-                Shared::from(raw).with_tag(1),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-                &g
-            )
-            .is_ok());
-        let cur = a.load(Ordering::SeqCst, &g);
-        assert_eq!(cur.tag(), 1);
-        assert_eq!(cur.as_raw(), raw);
-        // Untagged expected value must fail against the tagged word.
-        let err = a
-            .compare_exchange(
-                Shared::from(raw),
-                Shared::null(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-                &g,
-            )
-            .unwrap_err();
-        assert_eq!(err.current.tag(), 1);
-    }
+    use std::sync::atomic::{AtomicI64, Ordering};
 
     #[test]
     fn deferred_destruction_runs_after_quiescence() {
@@ -633,5 +122,112 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(LIVE2.load(Ordering::SeqCst), 0);
+    }
+
+    /// `repin` on a nested guard must be a no-op: the outer guard's
+    /// older pin must keep protecting everything retired since it.
+    #[test]
+    fn repin_is_a_noop_under_a_nested_guard() {
+        static LIVE3: AtomicI64 = AtomicI64::new(0);
+        struct Tracked3;
+        impl Drop for Tracked3 {
+            fn drop(&mut self) {
+                LIVE3.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let outer = pin();
+        let mut inner = pin(); // nested: guard_count == 2
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                LIVE3.fetch_add(1, Ordering::SeqCst);
+                let p = Box::into_raw(Box::new(Tracked3));
+                let g = pin();
+                unsafe { g.defer_destroy(Shared::from(p as *const Tracked3)) };
+                drop(g);
+                pin().flush();
+            })
+            .join()
+            .unwrap();
+        });
+        // Hammering repin on the nested guard must not republish the
+        // epoch — the outer pin still caps advancement, so the value
+        // cannot be freed no matter how hard the collector is pumped.
+        for _ in 0..64 {
+            inner.repin();
+            std::thread::scope(|s| {
+                s.spawn(|| pin().flush());
+            });
+        }
+        assert_eq!(
+            LIVE3.load(Ordering::SeqCst),
+            1,
+            "repin on a nested guard weakened the outer pin"
+        );
+        // Dropping down to a single guard makes repin effective again.
+        drop(outer);
+        for _ in 0..2000 {
+            if LIVE3.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            inner.repin();
+            std::thread::scope(|s| {
+                s.spawn(|| pin().flush());
+            });
+            std::thread::yield_now();
+        }
+        assert_eq!(LIVE3.load(Ordering::SeqCst), 0, "repin failed to unblock");
+    }
+
+    /// A long-lived guard that keeps calling `repin` must let the epoch
+    /// advance (observable through the collector stats) and let garbage
+    /// retired after its original pin drain.
+    #[test]
+    fn repin_unblocks_epoch_advancement() {
+        static LIVE4: AtomicI64 = AtomicI64::new(0);
+        struct Tracked4;
+        impl Drop for Tracked4 {
+            fn drop(&mut self) {
+                LIVE4.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let mut session = pin(); // long-lived, like a pinned tree session
+        #[cfg(feature = "stats")]
+        let before = collector_stats();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    LIVE4.fetch_add(1, Ordering::SeqCst);
+                    let p = Box::into_raw(Box::new(Tracked4));
+                    let g = pin();
+                    unsafe { g.defer_destroy(Shared::from(p as *const Tracked4)) };
+                }
+                pin().flush();
+            })
+            .join()
+            .unwrap();
+        });
+        for _ in 0..2000 {
+            if LIVE4.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            session.repin(); // the session keeps itself current …
+            session.flush(); // … so collection passes can advance
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            LIVE4.load(Ordering::SeqCst),
+            0,
+            "a refreshing session still blocked reclamation"
+        );
+        #[cfg(feature = "stats")]
+        {
+            let after = collector_stats();
+            assert!(
+                after.advance_successes > before.advance_successes,
+                "draining garbage implies the epoch advanced"
+            );
+            assert!(after.bags_freed > before.bags_freed);
+        }
+        drop(session);
     }
 }

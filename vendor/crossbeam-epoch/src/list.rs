@@ -1,0 +1,246 @@
+//! The lock-free intrusive participant registry.
+//!
+//! A singly-linked list of [`Node`]s with three operations, none of
+//! which ever takes a lock:
+//!
+//! * **insert at head** — one CAS loop on `head` (thread registration);
+//! * **logical delete** — set the tombstone tag bit on the node's *own*
+//!   `next` word (thread exit). Tagging the node's own link is the
+//!   Harris trick: it simultaneously marks the node dead *and* freezes
+//!   its outgoing pointer, so no concurrent unlink can splice a node
+//!   *after* a dying predecessor (the unlink CAS expects an untagged
+//!   word and fails);
+//! * **physical unlink during scans** — `try_advance` steps over
+//!   tombstoned nodes and CASes them out of the chain en passant; the
+//!   single winner of that CAS hands the node to the garbage queue.
+//!
+//! Invariants:
+//!
+//! * nodes are inserted at the head only and never re-inserted, so each
+//!   node has exactly one in-pointer (its predecessor's `next`, or
+//!   `head`) — at most one unlink CAS can ever succeed per node;
+//! * a tombstoned node's `next` word is frozen (every CAS on it expects
+//!   tag 0), so the chain suffix read through a dead node is immutable
+//!   and traversal past it stays sound;
+//! * unlinked nodes are freed **through the epoch collector itself**, so
+//!   a scanner that still holds a pointer to one (scanners are pinned)
+//!   can keep reading it until quiescence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel meaning "this participant is not pinned".
+pub(crate) const UNPINNED: usize = usize::MAX;
+
+/// Tag bit on a node's own `next` word marking the node tombstoned.
+const TOMB: usize = 1;
+
+/// One participant: the epoch its owner thread pinned in (or
+/// [`UNPINNED`]) and the intrusive link.
+pub(crate) struct Node {
+    /// Epoch the owning thread pinned in, or [`UNPINNED`].
+    pub(crate) epoch: AtomicUsize,
+    /// Tagged pointer to the next node; tag [`TOMB`] ⇒ this node is
+    /// logically deleted and this word is frozen.
+    next: AtomicUsize,
+}
+
+/// Lock-free intrusive list of participants.
+pub(crate) struct List {
+    /// Untagged pointer to the first node (0 = empty). Only ever
+    /// changed by head-insertions and head-unlinks.
+    head: AtomicUsize,
+}
+
+impl List {
+    pub(crate) const fn new() -> List {
+        List {
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Register a new participant (lock-free: one allocation + a CAS
+    /// loop on `head`). The returned node stays valid at least until
+    /// [`List::delete`] tombstones it *and* a later scan unlinks it and
+    /// the epoch collector reclaims it.
+    pub(crate) fn insert(&self) -> *const Node {
+        let node = Box::into_raw(Box::new(Node {
+            epoch: AtomicUsize::new(UNPINNED),
+            next: AtomicUsize::new(0),
+        }));
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            // SAFETY: `node` is unpublished — we are its only accessor.
+            unsafe { (*node).next.store(head, Ordering::SeqCst) };
+            if self
+                .head
+                .compare_exchange(head, node as usize, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return node;
+            }
+        }
+    }
+
+    /// Logically delete a participant: set the tombstone tag on its own
+    /// `next` word. Lock-free, never blocks, never frees — physical
+    /// unlinking happens inside later [`List::scan`]s.
+    ///
+    /// # Safety
+    ///
+    /// `node` must have been returned by [`List::insert`] on this list
+    /// and not have been deleted before (only the owning thread deletes,
+    /// exactly once, on exit).
+    pub(crate) unsafe fn delete(&self, node: *const Node) {
+        let node = &*node;
+        let mut next = node.next.load(Ordering::SeqCst);
+        while next & TOMB == 0 {
+            match node
+                .next
+                .compare_exchange(next, next | TOMB, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => next = actual,
+            }
+        }
+    }
+
+    /// Walk every live participant once. `visit` is called for each
+    /// non-tombstoned node; returning `false` aborts the scan (a
+    /// straggler was found) and `scan` returns `false`. Tombstoned
+    /// nodes are *skipped* — they can never veto epoch advancement — and
+    /// opportunistically unlinked: the winner of the unlink CAS passes
+    /// the node to `reclaim` (which must defer its destruction through
+    /// the epoch collector).
+    ///
+    /// The scan is a single pass: a failed unlink CAS (either the
+    /// predecessor died or another scanner already unlinked the node)
+    /// just steps over the tombstone and leaves the cleanup to a later
+    /// scan.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must be pinned: traversal dereferences nodes
+    /// that concurrent scanners may unlink, and only the epoch protocol
+    /// keeps those allocations alive.
+    pub(crate) unsafe fn scan(
+        &self,
+        mut visit: impl FnMut(&Node) -> bool,
+        mut reclaim: impl FnMut(*mut Node),
+    ) -> bool {
+        let mut pred: &AtomicUsize = &self.head;
+        let mut cur = pred.load(Ordering::SeqCst) & !TOMB;
+        loop {
+            if cur == 0 {
+                return true;
+            }
+            let cur_ref = &*(cur as *const Node);
+            let next = cur_ref.next.load(Ordering::SeqCst);
+            if next & TOMB != 0 {
+                // Tombstoned: try to splice it out. The expected value is
+                // untagged, so the CAS can only succeed while `pred` is
+                // still live and still points at `cur` — the one
+                // in-pointer transitions away from `cur` at most once.
+                if pred
+                    .compare_exchange(cur, next & !TOMB, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    reclaim(cur as *mut Node);
+                }
+                // Won or lost, the successor chain continues at the
+                // frozen `next`; `pred` is kept (possibly stale — then
+                // further unlink attempts through it fail harmlessly).
+                cur = next & !TOMB;
+            } else {
+                if !visit(cur_ref) {
+                    return false;
+                }
+                pred = &cur_ref.next;
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_ptrs(list: &List) -> Vec<*const Node> {
+        let mut v = Vec::new();
+        // SAFETY: single-threaded test — nothing is unlinked concurrently.
+        unsafe {
+            list.scan(
+                |n| {
+                    v.push(n as *const Node);
+                    true
+                },
+                |_| {},
+            )
+        };
+        v
+    }
+
+    #[test]
+    fn insert_is_lifo_and_delete_unlinks() {
+        let list = List::new();
+        let a = list.insert();
+        let b = list.insert();
+        let c = list.insert();
+        assert_eq!(collect_ptrs(&list), vec![c, b, a]);
+
+        unsafe { list.delete(b) };
+        // First scan skips + unlinks the tombstone.
+        let mut reclaimed = Vec::new();
+        let done = unsafe { list.scan(|_| true, |n| reclaimed.push(n)) };
+        assert!(done);
+        assert_eq!(reclaimed, vec![b as *mut Node]);
+        assert_eq!(collect_ptrs(&list), vec![c, a]);
+        // The winner owns the node now.
+        drop(unsafe { Box::from_raw(b as *mut Node) });
+
+        // A second scan finds nothing more to reclaim.
+        let mut reclaimed2 = Vec::new();
+        unsafe { list.scan(|_| true, |n| reclaimed2.push(n)) };
+        assert!(reclaimed2.is_empty());
+
+        for n in [a, c] {
+            unsafe { list.delete(n) };
+        }
+        unsafe { list.scan(|_| true, |n| drop(Box::from_raw(n))) };
+        assert!(collect_ptrs(&list).is_empty());
+    }
+
+    #[test]
+    fn veto_stops_the_scan() {
+        let list = List::new();
+        let a = list.insert();
+        unsafe { (*(a as *mut Node)).epoch.store(3, Ordering::SeqCst) };
+        let done = unsafe { list.scan(|n| n.epoch.load(Ordering::SeqCst) == UNPINNED, |_| {}) };
+        assert!(!done);
+        unsafe { list.delete(a) };
+        unsafe { list.scan(|_| true, |n| drop(Box::from_raw(n))) };
+    }
+
+    #[test]
+    fn concurrent_register_and_exit_strands_nothing() {
+        use std::sync::Arc;
+        let list = Arc::new(List::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let list = Arc::clone(&list);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let n = list.insert();
+                        unsafe { list.delete(n) };
+                    }
+                });
+            }
+        });
+        // Single-threaded now: every node is tombstoned; scans unlink and
+        // may free directly (no concurrent readers).
+        for _ in 0..4 {
+            unsafe { list.scan(|_| true, |n| drop(Box::from_raw(n))) };
+        }
+        assert!(collect_ptrs(&list).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! The lock-free global garbage queue.
+//!
+//! A Michael–Scott FIFO queue of sealed bags, built on the shim's own
+//! [`Atomic`]/[`Shared`] words. Each node carries the epoch its bag was
+//! sealed in; [`Queue::try_pop_ripe`] pops the front bag only once the
+//! global epoch has advanced at least two steps past that seal, so the
+//! ripeness check and the dequeue are one protocol.
+//!
+//! Reclamation of the queue's *own* nodes goes through the epoch
+//! collector as well: the winner of a pop hands the retired dummy node
+//! back to the caller as a [`Deferred`], and the caller seals those into
+//! a fresh bag. Every accessor (pusher or popper) must therefore be
+//! pinned — that is what keeps a lagging thread's `tail`/`head` snapshot
+//! dereferenceable.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering::SeqCst;
+
+use crate::atomic::{Atomic, Shared};
+use crate::deferred::{Bag, Deferred};
+use crate::Guard;
+
+/// One queue link: a bag sealed at `seal`, or the dummy (bag `None`).
+struct QNode {
+    /// Global epoch current when the bag was sealed. Immutable.
+    seal: usize,
+    /// The garbage. Taken (exactly once) by the winner of the pop CAS.
+    bag: UnsafeCell<Option<Bag>>,
+    next: Atomic<QNode>,
+}
+
+/// Michael–Scott queue of sealed garbage bags.
+pub(crate) struct Queue {
+    head: Atomic<QNode>,
+    tail: Atomic<QNode>,
+}
+
+// SAFETY: the queue is a pair of atomic words plus heap nodes whose
+// `bag` cell is accessed only by the single winner of the pop CAS (and
+// whose `seal` is immutable); bags themselves are `Send` (`Deferred` is).
+unsafe impl Send for Queue {}
+unsafe impl Sync for Queue {}
+
+/// The guard parameter on [`Atomic`] is a lifetime witness; inside the
+/// collector the pinned-ness obligation is carried by the *callers*
+/// (documented on each method), so internal loads borrow the static
+/// unprotected guard as the witness. Nothing is ever deferred through it.
+fn witness() -> &'static Guard {
+    // SAFETY: used purely as a lifetime token for `Atomic` accesses whose
+    // protection is established by the caller's pin.
+    unsafe { crate::unprotected() }
+}
+
+impl Queue {
+    /// A new queue holding only the initial dummy node.
+    pub(crate) fn new() -> Queue {
+        let dummy: *const QNode = Box::into_raw(Box::new(QNode {
+            seal: 0,
+            bag: UnsafeCell::new(None),
+            next: Atomic::null(),
+        }));
+        let s = Shared::from(dummy);
+        Queue {
+            head: Atomic::from(s),
+            tail: Atomic::from(s),
+        }
+    }
+
+    /// Append a bag sealed at `seal`. Lock-free (one allocation, then
+    /// the classic swing-tail CAS loop).
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must be pinned (or otherwise guaranteed
+    /// exclusive, e.g. during `Local::drop` under a manual self-pin):
+    /// the loop dereferences `tail` snapshots that a concurrent pop may
+    /// retire.
+    pub(crate) unsafe fn push(&self, seal: usize, bag: Bag) {
+        let g = witness();
+        let node = Shared::from(Box::into_raw(Box::new(QNode {
+            seal,
+            bag: UnsafeCell::new(Some(bag)),
+            next: Atomic::null(),
+        })) as *const QNode);
+        loop {
+            let tail = self.tail.load(SeqCst, g);
+            let tail_ref = tail.deref();
+            let next = tail_ref.next.load(SeqCst, g);
+            if !next.is_null() {
+                // Tail is lagging: help swing it forward and retry.
+                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst, g);
+                continue;
+            }
+            if tail_ref
+                .next
+                .compare_exchange(Shared::null(), node, SeqCst, SeqCst, g)
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(tail, node, SeqCst, SeqCst, g);
+                return;
+            }
+        }
+    }
+
+    /// Pop the front bag if it is ripe under `epoch` (sealed at least
+    /// two epochs ago). Returns `None` when the queue is empty or the
+    /// front bag is still protected. The dummy node retired by a
+    /// successful pop is appended to `retired` as a [`Deferred`]; the
+    /// caller must seal those through the collector.
+    ///
+    /// # Safety
+    ///
+    /// The calling thread must be pinned (see [`Queue::push`]).
+    pub(crate) unsafe fn try_pop_ripe(
+        &self,
+        epoch: usize,
+        retired: &mut Vec<Deferred>,
+    ) -> Option<Bag> {
+        let g = witness();
+        loop {
+            let head = self.head.load(SeqCst, g);
+            let next = head.deref().next.load(SeqCst, g);
+            if next.is_null() {
+                return None; // dummy only: empty
+            }
+            let front = next.deref();
+            // `seal` is immutable; reading it before winning the pop is
+            // safe under the pin.
+            if front.seal + 2 > epoch {
+                return None; // not ripe yet (FIFO: later bags can't be riper by much)
+            }
+            // Keep tail out of the way of the node we are about to retire.
+            let tail = self.tail.load(SeqCst, g);
+            if tail == head {
+                let _ = self.tail.compare_exchange(tail, next, SeqCst, SeqCst, g);
+            }
+            if self
+                .head
+                .compare_exchange(head, next, SeqCst, SeqCst, g)
+                .is_ok()
+            {
+                // We won: `front` is the new dummy and its bag is ours;
+                // the old dummy is unreachable and retires through the
+                // collector (a lagging peer may still dereference it).
+                let bag = (*front.bag.get()).take().expect("bag taken twice");
+                retired.push(Deferred::drop_box(head.as_raw() as *mut QNode));
+                return Some(bag);
+            }
+        }
+    }
+}
+
+impl Drop for Queue {
+    fn drop(&mut self) {
+        // `&mut self`: exclusive access — walk the chain, free every
+        // node and run whatever bags never ripened. (The process-global
+        // queue lives in a static and never drops; this path is for
+        // locally-owned queues, e.g. in tests.)
+        let g = witness();
+        let mut cur = self.head.load(SeqCst, g);
+        while !cur.is_null() {
+            // SAFETY: exclusive owner; nodes form a private chain.
+            let node = unsafe { Box::from_raw(cur.as_raw() as *mut QNode) };
+            let QNode { seal: _, bag, next } = *node;
+            cur = next.load(SeqCst, g);
+            if let Some(b) = bag.into_inner() {
+                for d in b {
+                    d.run();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_deferred(counter: &'static AtomicUsize) -> Deferred {
+        struct Bump(&'static AtomicUsize);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Deferred::drop_box(Box::into_raw(Box::new(Bump(counter))))
+    }
+
+    #[test]
+    fn ripeness_gates_the_pop() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        let q = Queue::new();
+        let _pin = crate::pin(); // satisfy the pinned-caller contract
+        let mut retired = Vec::new();
+        unsafe {
+            q.push(5, vec![counting_deferred(&DROPS)]);
+            // Epochs 5 and 6: the bag sealed at 5 is still protected.
+            assert!(q.try_pop_ripe(5, &mut retired).is_none());
+            assert!(q.try_pop_ripe(6, &mut retired).is_none());
+            // Epoch 7 = seal + 2: ripe.
+            let bag = q.try_pop_ripe(7, &mut retired).expect("ripe bag");
+            for d in bag {
+                d.run();
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        assert_eq!(retired.len(), 1, "old dummy retired through the caller");
+        for d in retired {
+            d.run();
+        }
+        // Queue is empty again.
+        let mut retired = Vec::new();
+        assert!(unsafe { q.try_pop_ripe(100, &mut retired) }.is_none());
+    }
+
+    #[test]
+    fn fifo_order_and_concurrent_pushes() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        let q = std::sync::Arc::new(Queue::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = std::sync::Arc::clone(&q);
+                s.spawn(move || {
+                    let _pin = crate::pin();
+                    for i in 0..50usize {
+                        unsafe { q.push(i, vec![counting_deferred(&DROPS)]) };
+                    }
+                });
+            }
+        });
+        let _pin = crate::pin();
+        let mut retired = Vec::new();
+        let mut popped = 0;
+        while let Some(bag) = unsafe { q.try_pop_ripe(usize::MAX - 2, &mut retired) } {
+            popped += 1;
+            for d in bag {
+                d.run();
+            }
+        }
+        assert_eq!(popped, 200);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 200);
+        assert_eq!(retired.len(), 200);
+        for d in retired {
+            d.run();
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Collector statistics, compiled in with the `stats` feature.
+//!
+//! Process-global cumulative counters over the collector's lifecycle:
+//! bags sealed into the global queue, bags (and items) freed after
+//! ripening, epoch-advance attempts and successes, and participant
+//! registry nodes retired after thread exit. Without the feature every
+//! recording call compiles to nothing, so the counters can never perturb
+//! measurement builds that don't ask for them.
+//!
+//! The counters are monotone and shared by every tree in the process
+//! (the collector itself is process-global); consumers should assert on
+//! *deltas*, not absolute values.
+
+#[cfg(feature = "stats")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "stats")]
+static BAGS_SEALED: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "stats")]
+static BAGS_FREED: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "stats")]
+static ITEMS_FREED: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "stats")]
+static ADVANCE_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "stats")]
+static ADVANCE_SUCCESSES: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "stats")]
+static PARTICIPANTS_RETIRED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative collector statistics (process-global, monotone).
+#[cfg(feature = "stats")]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Garbage bags sealed into the global queue (including bags of
+    /// retired queue/registry nodes the collector feeds back to itself).
+    pub bags_sealed: u64,
+    /// Ripe bags popped and destroyed.
+    pub bags_freed: u64,
+    /// Individual deferred destructions executed.
+    pub items_freed: u64,
+    /// Calls to `try_advance` (each is one registry scan).
+    pub advance_attempts: u64,
+    /// Epoch-advance CASes won.
+    pub advance_successes: u64,
+    /// Participant registry nodes physically unlinked after thread exit.
+    pub participants_retired: u64,
+}
+
+/// Read the collector counters.
+#[cfg(feature = "stats")]
+pub fn collector_stats() -> CollectorStats {
+    CollectorStats {
+        bags_sealed: BAGS_SEALED.load(Ordering::Relaxed),
+        bags_freed: BAGS_FREED.load(Ordering::Relaxed),
+        items_freed: ITEMS_FREED.load(Ordering::Relaxed),
+        advance_attempts: ADVANCE_ATTEMPTS.load(Ordering::Relaxed),
+        advance_successes: ADVANCE_SUCCESSES.load(Ordering::Relaxed),
+        participants_retired: PARTICIPANTS_RETIRED.load(Ordering::Relaxed),
+    }
+}
+
+macro_rules! bump_impl {
+    ($($fn_name:ident => $counter:ident),* $(,)?) => {
+        $(
+            #[cfg(feature = "stats")]
+            #[inline]
+            pub(crate) fn $fn_name() {
+                $counter.fetch_add(1, Ordering::Relaxed);
+            }
+            #[cfg(not(feature = "stats"))]
+            #[inline(always)]
+            pub(crate) fn $fn_name() {}
+        )*
+    };
+}
+
+bump_impl!(
+    bag_sealed => BAGS_SEALED,
+    advance_attempt => ADVANCE_ATTEMPTS,
+    advance_success => ADVANCE_SUCCESSES,
+    participant_retired => PARTICIPANTS_RETIRED,
+);
+
+/// Record one freed bag of `items` deferred destructions.
+#[cfg(feature = "stats")]
+#[inline]
+pub(crate) fn bag_freed(items: usize) {
+    BAGS_FREED.fetch_add(1, Ordering::Relaxed);
+    ITEMS_FREED.fetch_add(items as u64, Ordering::Relaxed);
+}
+#[cfg(not(feature = "stats"))]
+#[inline(always)]
+pub(crate) fn bag_freed(_items: usize) {}
+
+#[cfg(all(test, feature = "stats"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_observable() {
+        let before = collector_stats();
+        bag_sealed();
+        bag_freed(3);
+        advance_attempt();
+        advance_success();
+        participant_retired();
+        let after = collector_stats();
+        assert!(after.bags_sealed > before.bags_sealed);
+        assert!(after.bags_freed > before.bags_freed);
+        assert!(after.items_freed >= before.items_freed + 3);
+        assert!(after.advance_attempts > before.advance_attempts);
+        assert!(after.advance_successes > before.advance_successes);
+        assert!(after.participants_retired > before.participants_retired);
+    }
+}
