@@ -1,0 +1,64 @@
+//! E9 — allocator churn (extension; not a paper experiment). The
+//! workloads where per-attempt `Node`/`Info` allocation dominates the
+//! operation cost: a retire-heavy 50i/50d mix and an upsert-heavy mix
+//! (25u/25d/50f — the `Replace` shape is one node in, one node out,
+//! pure allocator traffic) over a tiny key range.
+//!
+//! This is the bench the per-thread arena pools (`pnb-bst`'s
+//! epoch-integrated free lists; DESIGN.md §3.5) exist for: before them,
+//! every update attempt paid `malloc` for each `Node`/`Info` and the
+//! collector paid cross-thread `free` for each retirement. `nb-bst`
+//! rides along as the non-pooled epoch baseline; the committed
+//! `BENCH_baseline.json` holds the pre-arena pnb numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Nb, Pnb};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+/// Small enough that churn (not search depth) dominates.
+const KEY_RANGE: u64 = 1_024;
+const OPS_PER_THREAD: u64 = 10_000;
+
+fn bench_mix<M: ConcurrentMap>(c: &mut Criterion, map: &M, group_name: &str, mix: Mix) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dist = KeyDist::uniform(KEY_RANGE);
+    prefill(map, KEY_RANGE, 0.5, 42);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new(map.name(), threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        total += run_fixed_ops(map, threads, OPS_PER_THREAD, mix, &dist, 1042 + i);
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e9_alloc_churn(c: &mut Criterion) {
+    // 50i/50d: the E1 shape — three fresh nodes + an Info per insert,
+    // a sibling copy + an Info per delete, everything retired soon after.
+    let pnb = Pnb::new();
+    bench_mix(c, &pnb, "e9_alloc_churn/update_50i50d", Mix::update_only());
+    let nb = Nb::new();
+    bench_mix(c, &nb, "e9_alloc_churn/update_50i50d", Mix::update_only());
+
+    // Upsert-heavy (pnb-only capability): the one-leaf Replace shape —
+    // the minimal allocate/retire cycle.
+    let pnb2 = Pnb::new();
+    bench_mix(c, &pnb2, "e9_alloc_churn/upsert_heavy", Mix::upsert_heavy());
+}
+
+criterion_group!(benches, e9_alloc_churn);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! cargo run --release -p pnbbst-bench --bin experiments -- --quick # CI-sized
 //! cargo run --release -p pnbbst-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e7
+//! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e9
 //! cargo run --release -p pnbbst-bench --bin experiments -- --quick --json BENCH_quick.json
 //! ```
 //!
@@ -45,7 +46,7 @@ fn main() {
         })
         .map(|s| s.as_str())
         .collect();
-    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r"];
+    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r", "e9"];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
     } else {
@@ -75,8 +76,9 @@ fn main() {
             "e7" => experiments::e7(&opts, &mut log),
             "e8" => experiments::e8(&opts, &mut log),
             "e8r" => experiments::e8r(&opts, &mut log),
+            "e9" => experiments::e9(&opts, &mut log),
             other => {
-                eprintln!("unknown experiment: {other} (expected e1..e8, e8r)");
+                eprintln!("unknown experiment: {other} (expected e1..e8, e8r, e9)");
                 std::process::exit(2);
             }
         };

@@ -125,6 +125,13 @@ fn sweep_structures(
             ms.push(m);
         }
         rows.push((s.name().to_string(), ms));
+        // Measurement hygiene: drain still-deferred garbage into the
+        // pools, then release the arena's retained footprint, so the
+        // next structure is benchmarked neither inside this one's heap
+        // nor while its garbage is still ripening (pnb-bst pools
+        // deliberately hold their peak working set).
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim();
     }
     (threads, rows)
 }
@@ -249,6 +256,8 @@ pub fn e5(opts: &ExpOpts, log: &mut JsonLog) -> String {
             "| {} | {ins:.0} | {fnd:.0} | {del:.0} |\n",
             s.name()
         ));
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim(); // heap hygiene between structures
     }
 
     // Sequential floor (needs &mut, measured directly).
@@ -490,6 +499,8 @@ pub fn e8(opts: &ExpOpts, log: &mut JsonLog) -> String {
                 fmt_ns(*p999)
             ));
         }
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim(); // heap hygiene between structures
     }
     out
 }
@@ -576,6 +587,8 @@ pub fn e8r(opts: &ExpOpts, log: &mut JsonLog) -> String {
                 d[2],
             ));
         }
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim(); // heap hygiene between structures
     }
     if !stats_enabled {
         out.push_str(
@@ -584,6 +597,117 @@ pub fn e8r(opts: &ExpOpts, log: &mut JsonLog) -> String {
         );
     }
     out
+}
+
+/// Arena counters bracketing a measured run: deltas of (pool hits,
+/// pool misses, recycled bytes). All zeros without the `stats` build.
+fn arena_delta<T>(run: impl FnOnce() -> T) -> (T, [u64; 3]) {
+    #[cfg(feature = "stats")]
+    {
+        // Drain the collector around both snapshots: the counters are
+        // process-global, so a previous structure's still-ripening
+        // garbage must not recycle inside this bracket and be
+        // attributed to it.
+        pnb_bst::collector_drain(64);
+        let b = pnb_bst::arena_stats();
+        let out = run();
+        pnb_bst::collector_drain(64);
+        let a = pnb_bst::arena_stats();
+        (
+            out,
+            [
+                a.pool_hits - b.pool_hits,
+                a.pool_misses - b.pool_misses,
+                a.recycled_bytes - b.recycled_bytes,
+            ],
+        )
+    }
+    #[cfg(not(feature = "stats"))]
+    {
+        (run(), [0; 3])
+    }
+}
+
+/// E9 (extension) — allocator churn: the update-only mix over a tiny
+/// key range, the workload where per-attempt `Node`/`Info` allocation
+/// dominates. Tracks the per-thread arena pools at work (hits, misses,
+/// recycled bytes — `stats` build) next to throughput; `nb-bst` rides
+/// along as the non-pooled epoch baseline. The committed
+/// `BENCH_baseline.json` E1 rows are the pre-arena reference this
+/// experiment's gains are measured against.
+pub fn e9(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    let kr: u64 = 1_024;
+    let threads: Vec<usize> = if opts.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    };
+    let stats_enabled = cfg!(feature = "stats");
+    let mut out = format!(
+        "\n### E9 — Arena/allocator churn (50i/50d, key range {kr})\n\n\
+         | structure | threads | throughput | pool hits | pool misses | hit rate | recycled |\n\
+         |---|---|---|---|---|---|---|\n"
+    );
+    let structures = [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::Nb(adapters::Nb::new()),
+    ];
+    for s in &structures {
+        for &t in &threads {
+            let cfg = RunConfig::new(t, opts.duration(), KeyDist::uniform(kr), Mix::update_only());
+            eprintln!("  {} / {t} threads (alloc churn) ...", s.name());
+            let (m, d) = arena_delta(|| {
+                s.run_throughput(&cfg)
+                    .expect("update-only mix needs only point ops")
+            });
+            let hit_rate = if d[0] + d[1] > 0 {
+                format!("{:.1}%", 100.0 * d[0] as f64 / (d[0] + d[1]) as f64)
+            } else {
+                "-".to_string()
+            };
+            log.push(
+                "e9",
+                &[
+                    ("structure", Val::s(&m.name)),
+                    ("threads", Val::U(t as u64)),
+                    ("key_range", Val::U(kr)),
+                    ("stats_enabled", Val::B(stats_enabled)),
+                    ("total_ops", Val::U(m.total_ops)),
+                    ("ops_per_sec", Val::F(m.ops_per_sec)),
+                    ("pool_hits", Val::U(d[0])),
+                    ("pool_misses", Val::U(d[1])),
+                    ("recycled_bytes", Val::U(d[2])),
+                ],
+            );
+            out.push_str(&format!(
+                "| {} | {t} | {} | {} | {} | {hit_rate} | {} |\n",
+                m.name,
+                fmt_tput(m.ops_per_sec),
+                d[0],
+                d[1],
+                fmt_bytes(d[2]),
+            ));
+        }
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim(); // heap hygiene between structures
+    }
+    if !stats_enabled {
+        out.push_str(
+            "\n*(arena columns are all zero: rebuild with `--features \
+             stats` to watch the pools work)*\n",
+        );
+    }
+    out
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -658,6 +782,31 @@ mod tests {
         let rendered = log.render("quick", 1);
         assert!(rendered.contains("\"experiment\": \"e8r\""));
         assert!(rendered.contains("\"bags_sealed\""));
+    }
+
+    #[test]
+    fn e9_reports_arena_churn_rows() {
+        let mut log = JsonLog::new();
+        let s = e9(&tiny(), &mut log);
+        assert!(s.contains("pnb-bst"));
+        assert!(s.contains("nb-bst"));
+        // 2 structures × 3 thread counts in quick mode.
+        assert_eq!(log.len(), 6);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e9\""));
+        assert!(rendered.contains("\"pool_hits\""));
+        #[cfg(feature = "stats")]
+        {
+            // The pnb rows must show the pools actually working.
+            assert!(rendered.contains("\"stats_enabled\": true"));
+        }
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
     }
 
     #[test]

@@ -21,10 +21,23 @@
 //! * A replacement subtree that never became reachable (attempt failed or
 //!   aborted) is freed by its creator — immediately if the `Info` was
 //!   never published, deferred otherwise.
+//! * Every allocation comes from the per-thread arena pools
+//!   ([`crate::arena`]) and every retirement flows back into them via
+//!   `defer_recycle`, so a steady-state update loop touches the global
+//!   allocator only on pool misses.
+//!
+//! # Memory orderings
+//!
+//! The blanket `SeqCst` of the first port is gone; each atomic site now
+//! carries the weakest ordering its proof obligation permits, with a
+//! one-line invariant comment. `SeqCst` survives only on the scan
+//! handshake's store-buffering pair (`sc-ok:` tags; see DESIGN.md §3.5
+//! for the full site table).
 
 use crossbeam_epoch::{Guard, Shared};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
 
+use crate::arena;
 use crate::info::{state, FreezeTag, Info, InfoPtr, NodePtr, OpKind, UpdateWord};
 use crate::node::{word_shared, Node};
 use crate::tree::PnbBst;
@@ -74,7 +87,9 @@ where
         for &u in old_update {
             if self.frozen(u) {
                 // SAFETY: `u.info` valid under guard (see `frozen`).
-                let st = unsafe { (*u.info).state.load(SeqCst) };
+                // Acquire: must see the Info's fields before Help
+                // dereferences them (pairs with the freeze-CAS publish).
+                let st = unsafe { (*u.info).state.load(Acquire) };
                 if st == state::UNDECIDED || st == state::TRY {
                     self.stats.helps();
                     self.help(u.info, guard);
@@ -83,23 +98,35 @@ where
                 return ExecOutcome::Failed;
             }
         }
-        // Line 102: allocate the Info object (refs = 1: creation ref).
-        let info: InfoPtr<K, V> = Box::into_raw(Box::new(Info::new(
+        // Line 102: allocate the Info object (refs = 1: creation ref)
+        // from the thread-local arena.
+        let info: InfoPtr<K, V> = arena::alloc(Info::new(
             kind, nodes, old_update, mark, par, old_child, new_child, seq,
-        )));
+        ));
         // Line 103: first freeze CAS — flag nodes[0]. Increment the
         // prospective field reference *before* the CAS so the count can
         // never dip below the number of live references.
         // SAFETY: we own `info` until it is published.
-        unsafe { (*info).refs.fetch_add(1, SeqCst) };
+        // Relaxed: pre-publish, the count is still creation-owned; the
+        // publishing CAS below is what transfers it to other threads.
+        unsafe { (*info).refs.fetch_add(1, Relaxed) };
         // SAFETY: nodes[0] is reachable (returned by search) and pinned.
         let first = unsafe { &*nodes[0] };
         let new_word = Shared::from(info).with_tag(FreezeTag::Flag.bit());
-        match first.update.compare_exchange(
+        match first.update_word().compare_exchange(
             word_shared(old_update[0]),
             new_word,
-            SeqCst,
-            SeqCst,
+            // sc-ok: scan-handshake total order (§4.1). This publish is
+            // the updater half of the store-buffering pair — it must be
+            // SeqCst-ordered against the scan's Counter fetch_add so
+            // that an attempt whose handshake read `Counter == seq` is
+            // guaranteed visible to the phase-closing scan's traversal.
+            // (It also Release-publishes the Info's fields, as any
+            // publication CAS must.)
+            SeqCst, // sc-ok: scan-handshake publish (see above)
+            // Relaxed failure: the observed word is discarded (we free
+            // and retry), never dereferenced.
+            Relaxed,
             guard,
         ) {
             Ok(_) => {
@@ -110,9 +137,8 @@ where
             Err(_) => {
                 self.stats.freeze_cas_failures();
                 // Never published: we are the only owner of both the Info
-                // and the replacement subtree.
-                // SAFETY: no other thread has observed `info`.
-                unsafe { drop(Box::from_raw(info as *mut Info<K, V>)) };
+                // and the replacement subtree — recycle immediately.
+                arena::free_now(info as *mut Info<K, V>);
                 self.free_unpublished_new_child(kind, new_child);
                 ExecOutcome::Failed
             }
@@ -150,21 +176,41 @@ where
         // Lines 111–113: the handshake. If Counter moved past our phase a
         // range scan may already have traversed (and missed) the part of
         // the tree we are updating — pro-actively abort.
-        if self.counter.load(SeqCst) != info.seq {
+        //
+        // sc-ok: scan-handshake total order (§4.1). This re-read is the
+        // updater half of the store-buffering pair: if it misses the
+        // scan's SeqCst fetch_add, the SeqCst total order forces the
+        // scan's later update-word loads to observe our publish CAS (and
+        // help us); if it sees the increment, we abort. Both missing —
+        // the lost-update outcome — is exactly what SC on all four
+        // accesses excludes.
+        let counter_now = self.counter.load(SeqCst); // sc-ok: handshake re-read
+        if counter_now != info.seq {
+            // AcqRel success: the Abort decision gates frees of the
+            // replacement subtree; it must not advance before the
+            // handshake read nor let later cleanup sink above it.
+            // Relaxed failure: the racing transition wins, we re-read
+            // state below.
             if info
                 .state
-                .compare_exchange(state::UNDECIDED, state::ABORT, SeqCst, SeqCst)
+                .compare_exchange(state::UNDECIDED, state::ABORT, AcqRel, Relaxed)
                 .is_ok()
             {
                 self.stats.handshake_aborts();
             }
         } else {
+            // AcqRel: Try gates the freeze loop; see state-machine note
+            // in DESIGN.md §3.5 (all state transitions are AcqRel so a
+            // reader that observes a decision also observes everything
+            // sequenced before it — notably the child CAS before
+            // Commit).
             let _ = info
                 .state
-                .compare_exchange(state::UNDECIDED, state::TRY, SeqCst, SeqCst);
+                .compare_exchange(state::UNDECIDED, state::TRY, AcqRel, Relaxed);
         }
-        // Line 114.
-        let mut cont = info.state.load(SeqCst) == state::TRY;
+        // Line 114. Acquire: pairs with the AcqRel transitions above (a
+        // helper may have decided the state concurrently).
+        let mut cont = info.state.load(Acquire) == state::TRY;
 
         // Lines 115–121: freeze the remaining nodes, in order.
         let mut i = 1;
@@ -178,13 +224,22 @@ where
             } else {
                 FreezeTag::Flag
             };
-            // Increment-before-CAS (see module docs).
-            info.refs.fetch_add(1, SeqCst);
-            match node.update.compare_exchange(
+            // Increment-before-CAS (see module docs). Relaxed: we
+            // already hold a reference to `info` (it is published), so
+            // this is the Arc::clone pattern — no ordering needed to
+            // *take* a reference, only to release one.
+            info.refs.fetch_add(1, Relaxed);
+            match node.update_word().compare_exchange(
                 word_shared(info.old_update[i]),
                 Shared::from(infp).with_tag(tag.bit()),
-                SeqCst,
-                SeqCst,
+                // Release: publishes nothing new (the Info is already
+                // published) but must not sink below the `cont` re-read;
+                // Release on the RMW also keeps the freeze ordered
+                // before the child CAS for helpers that observe it.
+                Release,
+                // Relaxed failure: the observed word is not dereferenced
+                // (the `cont` re-read below decides by pointer equality).
+                Relaxed,
                 guard,
             ) {
                 Ok(_) => {
@@ -197,8 +252,11 @@ where
                 }
             }
             // Line 119: somebody (us or a fellow helper) must have frozen
-            // this node for `info`, whatever the tag.
-            cont = std::ptr::eq(node.update.load(SeqCst, guard).as_raw(), infp);
+            // this node for `info`, whatever the tag. Acquire: same-
+            // location coherence after our RMW makes the value current;
+            // Acquire keeps the subsequent child CAS from hoisting above
+            // the confirmation that every freeze landed.
+            cont = std::ptr::eq(node.update_word().load(Acquire, guard).as_raw(), infp);
             i += 1;
         }
 
@@ -207,24 +265,31 @@ where
             let won = self.cas_child(info.par, info.old_child, info.new_child, guard);
             // Line 124: commit write. A CAS from Try keeps the transition
             // single-shot; by Lemma 10 no abort can race with it.
+            // AcqRel: a thread that reads Commit (Acquire) must also
+            // observe the child CAS sequenced before this transition —
+            // scans rely on that chain to read the new child without
+            // helping (DESIGN.md §3.5).
             let _ = info
                 .state
-                .compare_exchange(state::TRY, state::COMMIT, SeqCst, SeqCst);
+                .compare_exchange(state::TRY, state::COMMIT, AcqRel, Relaxed);
             if won {
                 // Unique winner: retire what the CAS unlinked.
                 self.retire_replaced(info, guard);
             }
-        } else if info.state.load(SeqCst) == state::TRY {
+        } else if info.state.load(Acquire) == state::TRY {
             // Lines 125–126: abort write (a freeze CAS lost the race).
+            // AcqRel: the Abort decision gates the creator's deferred
+            // free of the never-linked replacement subtree.
             if info
                 .state
-                .compare_exchange(state::TRY, state::ABORT, SeqCst, SeqCst)
+                .compare_exchange(state::TRY, state::ABORT, AcqRel, Relaxed)
                 .is_ok()
             {
                 self.stats.freeze_aborts();
             }
         }
-        info.state.load(SeqCst) == state::COMMIT // line 127
+        // Line 127. Acquire: pairs with the deciding AcqRel transition.
+        info.state.load(Acquire) == state::COMMIT
     }
 
     /// Paper `CAS-Child` (lines 83–88). Returns whether *our* CAS was the
@@ -241,13 +306,24 @@ where
         let parent = unsafe { &*par };
         let new_ref = unsafe { &*new };
         debug_assert!(std::ptr::eq(new_ref.prev, old), "new.prev must equal old");
-        let field = if new_ref.key < parent.key {
-            &parent.left // line 85
-        } else {
-            &parent.right // line 87
-        };
+        let field = parent.child_word(new_ref.key < parent.key); // lines 85–87
         field
-            .compare_exchange(Shared::from(old), Shared::from(new), SeqCst, SeqCst, guard)
+            .compare_exchange(
+                Shared::from(old),
+                Shared::from(new),
+                // Release: publishes the new subtree — its nodes' cold
+                // fields were written before this CAS and become
+                // reachable through it (pairs with `load_child`'s
+                // Acquire).
+                Release,
+                // Acquire failure: losing means a fellow helper already
+                // swung the pointer; acquiring its Release here is what
+                // lets *our* subsequent Commit write carry visibility of
+                // the new child to readers that see Commit without
+                // helping (DESIGN.md §3.5).
+                Acquire,
+                guard,
+            )
             .is_ok()
     }
 
@@ -265,8 +341,8 @@ where
                 // immutable since the freeze (Lemma 24) and are exactly
                 // nodes[2] (the deleted leaf) and nodes[3] (the sibling).
                 let p = unsafe { &*info.old_child };
-                let l = p.left.load(SeqCst, guard);
-                let r = p.right.load(SeqCst, guard);
+                let l = p.load_child(true, guard);
+                let r = p.load_child(false, guard);
                 self.retire_node(l.as_raw(), guard);
                 self.retire_node(r.as_raw(), guard);
                 self.retire_node(info.old_child, guard);
@@ -276,7 +352,7 @@ where
 
     /// Retire one unlinked node: release the Info reference its
     /// (permanently marked, hence immutable — Lemma 23) update field
-    /// holds, then defer destruction.
+    /// holds, then defer reclamation *into the arena pools*.
     fn retire_node(&self, node: NodePtr<K, V>, guard: &Guard) {
         // SAFETY: `node` was just unlinked by us; it stays valid under our
         // guard.
@@ -286,7 +362,8 @@ where
         self.dec_ref(w.info, guard);
         // SAFETY: `node` is unreachable to operations that pin after this
         // point (DESIGN.md §3); current pinners are protected by epochs.
-        unsafe { guard.defer_destroy(Shared::from(node)) };
+        // Once ripe, the memory flows back to a thread-local pool.
+        unsafe { guard.defer_recycle(Shared::from(node), arena::recycle_raw::<Node<K, V>>) };
     }
 
     /// Release one reference to `info`; the thread that drops the count
@@ -298,31 +375,42 @@ where
         // SAFETY: caller holds a reference or is pinned from before any
         // possible retirement.
         let i = unsafe { &*info };
-        if i.refs.fetch_sub(1, SeqCst) == 1 && !i.retired.swap(true, SeqCst) {
+        // AcqRel (the Arc drop pattern): Release orders all our prior
+        // uses of the Info before the decrement; Acquire on the final
+        // decrement makes every other thread's prior uses visible
+        // before the retirement below.
+        if i.refs.fetch_sub(1, AcqRel) == 1
+            // AcqRel: the count can touch zero more than once (a helper's
+            // increment-before-CAS may resurrect it); the swap elects a
+            // single retiring thread and orders the election against the
+            // deferred destruction.
+            && !i.retired.swap(true, AcqRel)
+        {
             // SAFETY: count reached zero: no node update field and no
-            // creation reference remains; stragglers are pinned.
-            unsafe { guard.defer_destroy(Shared::from(info)) };
+            // creation reference remains; stragglers are pinned. Ripe
+            // memory flows back to a thread-local pool.
+            unsafe { guard.defer_recycle(Shared::from(info), arena::recycle_raw::<Info<K, V>>) };
         }
     }
 
     /// Free a replacement subtree that was never published: nobody else
-    /// has ever observed these nodes, so immediate destruction is safe.
+    /// has ever observed these nodes, so immediate recycling is safe.
     pub(crate) fn free_unpublished_new_child(&self, kind: OpKind, new_child: NodePtr<K, V>) {
         unsafe {
             // SAFETY: sole owner; loads use the unprotected guard because
-            // the nodes were never shared.
+            // the nodes were never shared (Relaxed for the same reason).
             let guard = crossbeam_epoch::unprotected();
             if let OpKind::Insert = kind {
                 let n = &*new_child;
-                let l = n.left.load(SeqCst, guard).as_raw();
-                let r = n.right.load(SeqCst, guard).as_raw();
-                drop(Box::from_raw(l as *mut Node<K, V>));
-                drop(Box::from_raw(r as *mut Node<K, V>));
+                let l = n.load_child(true, guard).as_raw();
+                let r = n.load_child(false, guard).as_raw();
+                arena::free_now(l as *mut Node<K, V>);
+                arena::free_now(r as *mut Node<K, V>);
             }
             // For deletes the copy's children are *shared* live nodes,
             // and a replace's new leaf has none — only the node itself
             // is ours in either case.
-            drop(Box::from_raw(new_child as *mut Node<K, V>));
+            arena::free_now(new_child as *mut Node<K, V>);
         }
     }
 
@@ -339,12 +427,12 @@ where
         unsafe {
             if let OpKind::Insert = kind {
                 let n = &*new_child;
-                let l = n.left.load(SeqCst, guard);
-                let r = n.right.load(SeqCst, guard);
-                guard.defer_destroy(l);
-                guard.defer_destroy(r);
+                let l = n.load_child(true, guard);
+                let r = n.load_child(false, guard);
+                guard.defer_recycle(l, arena::recycle_raw::<Node<K, V>>);
+                guard.defer_recycle(r, arena::recycle_raw::<Node<K, V>>);
             }
-            guard.defer_destroy(Shared::from(new_child));
+            guard.defer_recycle(Shared::from(new_child), arena::recycle_raw::<Node<K, V>>);
         }
     }
 }

@@ -274,8 +274,8 @@ mod tests {
     #[test]
     fn dummy_is_aborted_and_unretirable() {
         let d = Info::<u32, u32>::dummy();
-        assert_eq!(d.state.load(Ordering::SeqCst), state::ABORT);
-        assert!(d.retired.load(Ordering::SeqCst));
+        assert_eq!(d.state.load(Ordering::Relaxed), state::ABORT);
+        assert!(d.retired.load(Ordering::Relaxed));
         assert_eq!(d.len, 0);
     }
 
@@ -296,9 +296,9 @@ mod tests {
             3 as NodePtr<u32, u32>,
             7,
         );
-        assert_eq!(info.state.load(Ordering::SeqCst), state::UNDECIDED);
-        assert_eq!(info.refs.load(Ordering::SeqCst), 1);
-        assert!(!info.retired.load(Ordering::SeqCst));
+        assert_eq!(info.state.load(Ordering::Relaxed), state::UNDECIDED);
+        assert_eq!(info.refs.load(Ordering::Relaxed), 1);
+        assert!(!info.retired.load(Ordering::Relaxed));
         assert_eq!(info.len, 2);
         assert_eq!(info.seq, 7);
         assert!(info.mark[1] && !info.mark[0]);

@@ -17,10 +17,12 @@
 use crossbeam_epoch::Guard;
 use std::iter::FusedIterator;
 use std::ops::{Bound, RangeBounds};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, SeqCst};
 
-use crate::info::{state, NodePtr};
+use crate::arena::ScanStack;
+use crate::info::state;
 use crate::key::SKey;
+use crate::node::Node;
 use crate::scan::{bounds_contain, skip_left, skip_right};
 use crate::tree::PnbBst;
 
@@ -49,8 +51,9 @@ pub struct Range<'a, K, V> {
     lo: Bound<K>,
     hi: Bound<K>,
     /// Descent stack over the version-`seq` tree; the top is the next
-    /// subtree to visit, ascending order ⇒ left pushed last.
-    stack: Vec<NodePtr<K, V>>,
+    /// subtree to visit, ascending order ⇒ left pushed last. Pooled
+    /// (`arena::ScanStack`): warm iteration allocates nothing.
+    stack: ScanStack<Node<K, V>>,
 }
 
 impl<'a, K, V> Range<'a, K, V>
@@ -69,13 +72,15 @@ where
         lo: Bound<K>,
         hi: Bound<K>,
     ) -> Self {
+        let mut stack = ScanStack::new();
+        stack.push(tree.root);
         Range {
             tree,
             guard,
             seq,
             lo,
             hi,
-            stack: vec![tree.root],
+            stack,
         }
     }
 
@@ -108,10 +113,12 @@ where
                 continue;
             }
             // Lines 139–140: help in-progress updates before descending
-            // so this phase's cut stays consistent.
-            let w = node.load_update(self.guard);
+            // so this phase's cut stays consistent. SeqCst load: the
+            // scanner half of the handshake pair (`load_update_scan`).
+            let w = node.load_update_scan(self.guard);
             // SAFETY: update words point at live Infos while pinned.
-            let st = unsafe { (*w.info).state.load(SeqCst) };
+            // Acquire: pairs with the AcqRel state transitions.
+            let st = unsafe { (*w.info).state.load(Acquire) };
             if st == state::UNDECIDED || st == state::TRY {
                 self.tree.stats.scan_helps();
                 self.tree.help(w.info, self.guard);
@@ -168,7 +175,9 @@ where
         guard: &'a Guard,
     ) -> Range<'a, K, V> {
         self.stats.scans();
-        let seq = self.counter.fetch_add(1, SeqCst);
+        // sc-ok: phase close — the scanner half of the handshake pair
+        // (§4.1); see `PnbBst::range_scan_with`.
+        let seq = self.counter.fetch_add(1, SeqCst); // sc-ok: phase close
         Range::new(self, guard, seq, lo, hi)
     }
 }

@@ -46,7 +46,12 @@ impl<K: Ord> SKey<K> {
     /// This is the `k < v.key` comparison used by `Search`,
     /// `ValidateLeaf` and `CAS-Child` in the paper: every finite key is
     /// smaller than both sentinels.
-    #[inline]
+    ///
+    /// `inline(always)`, as for the two derived predicates below: these
+    /// are the most-called functions in the crate (once per level per
+    /// search step), and the sentinel match must fuse into the caller's
+    /// descent loop rather than become a call per comparison.
+    #[inline(always)]
     pub fn cmp_fin(&self, k: &K) -> Ordering {
         match self {
             SKey::Fin(me) => me.cmp(k),
@@ -56,13 +61,13 @@ impl<K: Ord> SKey<K> {
     }
 
     /// `k < self` for a finite query key `k` (the search descent test).
-    #[inline]
+    #[inline(always)]
     pub fn fin_lt(&self, k: &K) -> bool {
         self.cmp_fin(k) == Ordering::Greater
     }
 
     /// `k == self` for a finite query key `k`.
-    #[inline]
+    #[inline(always)]
     pub fn fin_eq(&self, k: &K) -> bool {
         self.cmp_fin(k) == Ordering::Equal
     }

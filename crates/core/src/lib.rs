@@ -96,6 +96,12 @@
 //! operations is preserved because the phase counter is monotonic (see
 //! `DESIGN.md` §3 in the repository for the full argument).
 //!
+//! Allocation is arena-pooled: every `Node`/`Info` comes from a
+//! per-thread free list that the epoch collector itself refills (ripe
+//! garbage is *recycled* into pools rather than freed), so steady-state
+//! update loops bypass the global allocator and read-only operations
+//! never allocate at all (`DESIGN.md` §3.5).
+//!
 //! ## Feature flags
 //!
 //! * `stats` — cheap atomic counters for helping/abort/CAS-failure
@@ -109,6 +115,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 mod handle;
 mod help;
 mod info;
@@ -139,3 +146,19 @@ pub use tree::PnbBst;
 /// counters are process-global and monotone: assert on deltas.
 #[cfg(feature = "stats")]
 pub use crossbeam_epoch::{collector_stats, CollectorStats};
+
+#[cfg(feature = "stats")]
+pub use arena::arena_stats;
+pub use arena::{trim as arena_trim, ArenaStats};
+
+/// Run `passes` seal-and-collect passes of the epoch collector on the
+/// current thread. With no other thread pinned this drains every ripe
+/// bag (recycling its memory into the arena pools), which is what
+/// measurement harnesses need at workload boundaries so that one
+/// structure's deferred garbage is not attributed to the next
+/// ([`arena_trim`] then releases the pooled footprint itself).
+pub fn collector_drain(passes: usize) {
+    for _ in 0..passes {
+        crossbeam_epoch::pin().flush();
+    }
+}

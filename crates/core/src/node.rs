@@ -1,4 +1,4 @@
-//! Tree nodes (paper Figure 2, lines 15–27).
+//! Tree nodes (paper Figure 2, lines 15–27), laid out hot/cold.
 //!
 //! The paper distinguishes `Internal` and `Leaf` subtypes of `Node`. We
 //! use a single struct with a `leaf` discriminant: leaves have null child
@@ -6,8 +6,20 @@
 //! have two non-null children and no value.
 //!
 //! Immutability discipline (paper Observation 1): `key`, `value`, `seq`,
-//! `prev` and `leaf` never change after construction. Only `update`,
-//! `left` and `right` are mutated, and only by CAS after initialization.
+//! `prev` and `leaf` never change after construction. Only the
+//! [`NodeHot`] words (`update`, `left`, `right`) are mutated, and only by
+//! CAS after initialization.
+//!
+//! # Hot/cold layout
+//!
+//! The three CAS words are segregated into their own cache line
+//! ([`NodeHot`], `align(64)`): freeze and child-swing CAS traffic from
+//! updaters invalidates only the hot line, while the immutable routing
+//! fields (`key`, `seq`, `prev`, `leaf`, `value`) that searchers and
+//! `prev`-chain walkers read stay in a line that is never written after
+//! construction — no false sharing between searchers and updaters.
+//! `#[repr(C)]` pins the cold fields in front so the split is a layout
+//! guarantee, not an optimizer mood.
 //!
 //! The `prev` pointer is what makes the tree *persistent*: whenever a
 //! child CAS replaces node `u` by `u'`, `u'.prev == u`, so
@@ -15,13 +27,27 @@
 //! first node in the chain whose `seq ≤ i` (§4.1).
 
 use crossbeam_epoch::{Atomic, Guard, Shared};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, SeqCst};
 
 use crate::info::{FreezeTag, Info, InfoPtr, NodePtr, UpdateWord};
 use crate::key::SKey;
 
-/// A tree node. See module docs for the invariants.
+/// The CAS-hot words of a node, cache-line-isolated from the immutable
+/// routing fields (see module docs).
+#[repr(C, align(64))]
+pub(crate) struct NodeHot<K, V> {
+    /// The paper's `Update` CAS word: tagged pointer to an [`Info`].
+    pub update: Atomic<Info<K, V>>,
+    /// Left child (null iff leaf).
+    pub left: Atomic<Node<K, V>>,
+    /// Right child (null iff leaf).
+    pub right: Atomic<Node<K, V>>,
+}
+
+/// A tree node. See module docs for the invariants and the layout.
+#[repr(C)]
 pub(crate) struct Node<K, V> {
+    // ---- cold: immutable after construction, read by every search ----
     /// Routing / stored key (leaf-oriented: only leaf keys are elements).
     pub key: SKey<K>,
     /// User value; `Some` only on leaves with finite keys.
@@ -31,14 +57,10 @@ pub(crate) struct Node<K, V> {
     /// Previous version of the tree position this node occupies; null for
     /// fresh leaves and the initial nodes. Immutable.
     pub prev: NodePtr<K, V>,
-    /// The paper's `Update` CAS word: tagged pointer to an [`Info`].
-    pub update: Atomic<Info<K, V>>,
-    /// Left child (null iff leaf).
-    pub left: Atomic<Node<K, V>>,
-    /// Right child (null iff leaf).
-    pub right: Atomic<Node<K, V>>,
     /// Leaf / internal discriminant.
     pub leaf: bool,
+    // ---- hot: the only mutable words, on their own cache line ----
+    pub(crate) hot: NodeHot<K, V>,
 }
 
 impl<K, V> Node<K, V> {
@@ -55,10 +77,12 @@ impl<K, V> Node<K, V> {
             value,
             seq,
             prev,
-            update: Atomic::from(dummy_word(dummy)),
-            left: Atomic::null(),
-            right: Atomic::null(),
             leaf: true,
+            hot: NodeHot {
+                update: Atomic::from(dummy_word(dummy)),
+                left: Atomic::null(),
+                right: Atomic::null(),
+            },
         }
     }
 
@@ -76,29 +100,70 @@ impl<K, V> Node<K, V> {
             value: None,
             seq,
             prev,
-            update: Atomic::from(dummy_word(dummy)),
-            left: Atomic::from(Shared::from(left)),
-            right: Atomic::from(Shared::from(right)),
             leaf: false,
+            hot: NodeHot {
+                update: Atomic::from(dummy_word(dummy)),
+                left: Atomic::from(Shared::from(left)),
+                right: Atomic::from(Shared::from(right)),
+            },
         }
     }
 
-    /// Load and decode this node's update word.
+    /// The raw `update` CAS word (for the freeze CAS steps).
+    #[inline]
+    pub(crate) fn update_word(&self) -> &Atomic<Info<K, V>> {
+        &self.hot.update
+    }
+
+    /// The raw child word for `CAS-Child` / teardown.
+    #[inline]
+    pub(crate) fn child_word(&self, left: bool) -> &Atomic<Node<K, V>> {
+        if left {
+            &self.hot.left
+        } else {
+            &self.hot.right
+        }
+    }
+
+    /// Load and decode this node's update word (validation/helping
+    /// paths).
+    ///
+    /// Acquire: pairs with the Release/SeqCst freeze CAS that installed
+    /// the word, so the published `Info`'s immutable fields are visible
+    /// before any dereference. Update-side correctness never needs more:
+    /// stale words are caught by CAS expected-value checks, not by
+    /// ordering.
     #[inline]
     pub(crate) fn load_update(&self, guard: &Guard) -> UpdateWord<K, V> {
-        let s = self.update.load(SeqCst, guard);
+        let s = self.hot.update.load(Acquire, guard);
+        UpdateWord::new(FreezeTag::from_bit(s.tag()), s.as_raw())
+    }
+
+    /// Load this node's update word on a *scan* path (`ScanHelper` /
+    /// `Snapshot` descent, paper lines 139–140).
+    #[inline]
+    pub(crate) fn load_update_scan(&self, guard: &Guard) -> UpdateWord<K, V> {
+        // sc-ok: scan-handshake total order (§4.1). This load is the
+        // scanner half of the store-buffering pair — updater: publish
+        // freeze CAS, then re-read Counter; scanner: fetch_add Counter,
+        // then this load. If the updater's handshake missed the
+        // Counter increment, the scan MUST observe the published Info
+        // here (and help it); only a single SeqCst order on all four
+        // accesses excludes the both-miss outcome.
+        let s = self.hot.update.load(SeqCst, guard); // sc-ok: scan-side SB load (see above)
         UpdateWord::new(FreezeTag::from_bit(s.tag()), s.as_raw())
     }
 
     /// Load the raw left or right child pointer (`left == true` ↔ left),
     /// matching `ReadChild` line 45.
+    ///
+    /// Acquire: pairs with the Release child CAS (or the Release freeze
+    /// CAS that first published the parent), so the child's immutable
+    /// fields (`key`, `seq`, `prev`, `value`) are visible before the
+    /// caller dereferences.
     #[inline]
     pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
-        if left {
-            self.left.load(SeqCst, guard)
-        } else {
-            self.right.load(SeqCst, guard)
-        }
+        self.child_word(left).load(Acquire, guard)
     }
 }
 
@@ -119,7 +184,7 @@ pub(crate) fn word_shared<'g, K, V>(w: UpdateWord<K, V>) -> Shared<'g, Info<K, V
 mod tests {
     use super::*;
     use crate::info::state;
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::Relaxed;
 
     fn dummy() -> Box<Info<u64, u64>> {
         Box::new(Info::dummy())
@@ -136,13 +201,13 @@ mod tests {
         assert_eq!(l.value, Some(7));
         assert!(l.prev.is_null());
         let g = crossbeam_epoch::pin();
-        assert!(l.left.load(SeqCst, &g).is_null());
-        assert!(l.right.load(SeqCst, &g).is_null());
+        assert!(l.load_child(true, &g).is_null());
+        assert!(l.load_child(false, &g).is_null());
         let w = l.load_update(&g);
         assert_eq!(w.tag, FreezeTag::Flag);
         assert!(std::ptr::eq(w.info, dp));
         unsafe {
-            assert_eq!((*w.info).state.load(Ordering::SeqCst), state::ABORT);
+            assert_eq!((*w.info).state.load(Relaxed), state::ABORT);
         }
     }
 
@@ -171,6 +236,32 @@ mod tests {
             let s = word_shared(w);
             assert_eq!(FreezeTag::from_bit(s.tag()), tag);
             assert!(std::ptr::eq(s.as_raw(), dp));
+        }
+    }
+
+    #[test]
+    fn hot_cold_split_is_a_layout_guarantee() {
+        // The mutable words must live in a different cache line than
+        // every immutable routing field.
+        let d = dummy();
+        let dp: InfoPtr<u64, u64> = &*d;
+        let n = Node::leaf(SKey::Fin(1), Some(2), 0, std::ptr::null(), dp);
+        let base = &n as *const _ as usize;
+        let hot = &n.hot as *const _ as usize;
+        assert_eq!(hot % 64, 0, "hot section must be cache-line aligned");
+        let hot_line = (hot - base) / 64;
+        for (name, addr) in [
+            ("key", &n.key as *const _ as usize),
+            ("value", &n.value as *const _ as usize),
+            ("seq", &n.seq as *const _ as usize),
+            ("prev", &n.prev as *const _ as usize),
+            ("leaf", &n.leaf as *const _ as usize),
+        ] {
+            assert_ne!(
+                (addr - base) / 64,
+                hot_line,
+                "cold field `{name}` shares a cache line with the hot words"
+            );
         }
     }
 }

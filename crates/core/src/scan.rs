@@ -17,9 +17,11 @@
 //! The traversal is iterative (explicit stack): the tree is not balanced,
 //! so recursion depth could reach O(n).
 
-use crossbeam_epoch::{self as epoch, Guard, Shared};
+use crossbeam_epoch::{self as epoch, Guard};
 use std::ops::Bound;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, SeqCst};
+
+use crate::arena::ScanStack;
 
 use crate::info::state;
 use crate::key::SKey;
@@ -104,7 +106,9 @@ where
         self.stats.scans();
         // Lines 130–131: seq := Counter; Inc(Counter) — fused into one
         // atomic fetch_add (unique seqs are a legal tie-break, §5.2.5).
-        let seq = self.counter.fetch_add(1, SeqCst);
+        // sc-ok: scan-handshake total order (§4.1) — the scanner half of
+        // the store-buffering pair; see `Node::load_update_scan`.
+        let seq = self.counter.fetch_add(1, SeqCst); // sc-ok: phase close
         self.scan_tree(seq, lo, hi, &mut f, guard);
     }
 
@@ -181,11 +185,14 @@ where
     ) where
         F: FnMut(&K, &V) -> std::ops::ControlFlow<()>,
     {
-        let mut stack: Vec<Shared<'_, Node<K, V>>> = vec![Shared::from(self.root)];
+        // Pooled descent stack: a warm scan performs no global
+        // allocation (see `arena::ScanStack`).
+        let mut stack: ScanStack<Node<K, V>> = ScanStack::new();
+        stack.push(self.root);
         while let Some(n) = stack.pop() {
             // SAFETY: every node on the stack came from the root or from
             // `read_child` under our pinned guard.
-            let node = unsafe { n.deref() };
+            let node = unsafe { &*n };
             if node.leaf {
                 // Line 137: {node.key} ∩ [a, b] — sentinels never match.
                 if let SKey::Fin(k) = &node.key {
@@ -199,10 +206,12 @@ where
             }
             // Lines 139–140: help whatever update is in progress here
             // before descending, so the scan observes every update of its
-            // own or earlier phases.
-            let w = node.load_update(guard);
-            // SAFETY: update words point at live Info objects while pinned.
-            let st = unsafe { (*w.info).state.load(SeqCst) };
+            // own or earlier phases. The SeqCst load is the scanner half
+            // of the handshake pair (`load_update_scan`).
+            let w = node.load_update_scan(guard);
+            // SAFETY: update words point at live Info objects while
+            // pinned. Acquire: pairs with the AcqRel state transitions.
+            let st = unsafe { (*w.info).state.load(Acquire) };
             if st == state::UNDECIDED || st == state::TRY {
                 self.stats.scan_helps();
                 self.help(w.info, guard);
@@ -214,17 +223,17 @@ where
             let go_right = !skip_right(&hi, &node.key);
             if desc {
                 if go_left {
-                    stack.push(self.read_child(node, true, seq, guard));
+                    stack.push(self.read_child(node, true, seq, guard).as_raw());
                 }
                 if go_right {
-                    stack.push(self.read_child(node, false, seq, guard));
+                    stack.push(self.read_child(node, false, seq, guard).as_raw());
                 }
             } else {
                 if go_right {
-                    stack.push(self.read_child(node, false, seq, guard));
+                    stack.push(self.read_child(node, false, seq, guard).as_raw());
                 }
                 if go_left {
-                    stack.push(self.read_child(node, true, seq, guard));
+                    stack.push(self.read_child(node, true, seq, guard).as_raw());
                 }
             }
         }
@@ -236,7 +245,8 @@ where
     fn first_in_bounds(&self, lo: Bound<&K>, hi: Bound<&K>, desc: bool) -> Option<(K, V)> {
         let guard = &epoch::pin();
         self.stats.scans();
-        let seq = self.counter.fetch_add(1, SeqCst);
+        // sc-ok: phase close — same pair as `range_scan_with`.
+        let seq = self.counter.fetch_add(1, SeqCst); // sc-ok: phase close
         let mut out = None;
         self.scan_tree_ctl(
             seq,
@@ -406,7 +416,8 @@ mod tests {
         let mut asc = Vec::new();
         let mut desc = Vec::new();
         let guard = &crossbeam_epoch::pin();
-        let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        // Relaxed: single-threaded test bump standing in for a scan.
+        let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         t.scan_tree_ctl(
             seq,
             Bound::Unbounded,
@@ -440,7 +451,8 @@ mod tests {
         let t = populated();
         let mut visited = Vec::new();
         let guard = &crossbeam_epoch::pin();
-        let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        // Relaxed: single-threaded test bump standing in for a scan.
+        let seq = t.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         t.scan_tree_ctl(
             seq,
             Bound::Unbounded,

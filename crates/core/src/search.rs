@@ -52,7 +52,14 @@ where
     ///
     /// Precondition (4.1): `p.seq <= seq`; consequently the prev chain
     /// from either child reaches a node with `seq ≤ p.seq ≤ seq`
-    /// (Invariant 4.10), so the walk below terminates at a non-null node.
+    /// (Invariant 4.10), so the walk terminates at a non-null node.
+    ///
+    /// Structured as a branch-free-ish fast path plus a `#[cold]` chain
+    /// walk: whenever the *current* child already satisfies
+    /// `child.seq <= seq` — every read in the scan-free regime, and the
+    /// overwhelmingly common case otherwise — no `prev` pointer is ever
+    /// touched and the whole call inlines into the search loop.
+    #[inline]
     pub(crate) fn read_child<'g>(
         &self,
         p: &Node<K, V>,
@@ -62,18 +69,33 @@ where
     ) -> Shared<'g, Node<K, V>> {
         debug_assert!(p.seq <= seq, "ReadChild precondition: p.seq <= seq");
         debug_assert!(!p.leaf, "ReadChild on a leaf");
-        let mut l = p.load_child(left, guard); // line 45
+        let l = p.load_child(left, guard); // line 45
+                                           // SAFETY: the current child is reachable under the guard.
+        let l_ref = unsafe { l.deref() };
+        if l_ref.seq <= seq {
+            return l; // fast path: current child is already version-visible
+        }
+        Self::read_child_slow(l_ref, seq)
+    }
+
+    /// The `prev`-chain walk of `ReadChild` (line 46), out of line: only
+    /// reached when a concurrent (or past) scan closed a phase below a
+    /// newer child — keeping it `#[cold]` keeps the fast path's code
+    /// size inside the inlined search loop.
+    #[cold]
+    fn read_child_slow<'g>(mut l_ref: &'g Node<K, V>, seq: u64) -> Shared<'g, Node<K, V>> {
         loop {
-            // SAFETY: the current child is reachable under the guard; each
-            // prev-target was unlinked no earlier than our pin (see
-            // DESIGN.md §3: any unlink with seq' <= seq happened while a
-            // node with seq' is already in the chain above us).
-            let l_ref = unsafe { l.deref() };
-            if l_ref.seq <= seq {
-                return l;
-            }
             debug_assert!(!l_ref.prev.is_null(), "prev chain must reach seq <= seq");
-            l = Shared::from(l_ref.prev); // line 46
+            // SAFETY: each prev-target was unlinked no earlier than our
+            // pin (see DESIGN.md §3: any unlink with seq' <= seq
+            // happened while a node with seq' is already in the chain
+            // above us). `prev` is immutable, so a plain field read
+            // after the Acquire child load is fully ordered.
+            let prev = unsafe { &*l_ref.prev };
+            if prev.seq <= seq {
+                return Shared::from(l_ref.prev); // line 46 terminates
+            }
+            l_ref = prev;
         }
     }
 }

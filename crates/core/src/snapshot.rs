@@ -20,7 +20,7 @@
 
 use crossbeam_epoch::{self as epoch, Guard};
 use std::ops::Bound;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, SeqCst};
 
 use crate::info::state;
 use crate::key::SKey;
@@ -63,7 +63,9 @@ where
     /// current phase exactly like a range scan does.
     pub fn snapshot(&self) -> Snapshot<'_, K, V> {
         let guard = epoch::pin();
-        let seq = self.counter.fetch_add(1, SeqCst);
+        // sc-ok: phase close — a snapshot ends the current phase exactly
+        // like a scan (§4.1); scanner half of the handshake pair.
+        let seq = self.counter.fetch_add(1, SeqCst); // sc-ok: phase close
         Snapshot {
             tree: self,
             guard,
@@ -98,9 +100,12 @@ where
                     None
                 };
             }
-            let w = node.load_update(guard);
+            // Scanner-side load (`load_update_scan`): this walk reads
+            // the closed phase `seq`, same obligations as `ScanHelper`.
+            let w = node.load_update_scan(guard);
             // SAFETY: update words point to live Infos while pinned.
-            let st = unsafe { (*w.info).state.load(SeqCst) };
+            // Acquire: pairs with the AcqRel state transitions.
+            let st = unsafe { (*w.info).state.load(Acquire) };
             if st == state::UNDECIDED || st == state::TRY {
                 self.tree.help(w.info, guard);
             }
@@ -121,8 +126,10 @@ where
             if node.leaf {
                 return node.key.fin_eq(key);
             }
-            let w = node.load_update(guard);
-            let st = unsafe { (*w.info).state.load(SeqCst) };
+            let w = node.load_update_scan(guard);
+            // SAFETY: live under our pinned guard; Acquire pairs with
+            // the AcqRel state transitions.
+            let st = unsafe { (*w.info).state.load(Acquire) };
             if st == state::UNDECIDED || st == state::TRY {
                 self.tree.help(w.info, guard);
             }

@@ -22,7 +22,7 @@
 //!   leaked, mirroring the paper's crash-failure model.
 
 use crossbeam_epoch::{self as epoch, Guard};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::Acquire;
 
 use crate::info::{state, InfoPtr};
 use crate::tree::{AttemptOutcome, PnbBst};
@@ -145,7 +145,8 @@ where
     /// Current protocol state (may be changed concurrently by helpers).
     pub fn state(&self) -> PausedState {
         // SAFETY: as above.
-        match unsafe { (*self.info).state.load(SeqCst) } {
+        // Acquire: pairs with the AcqRel state transitions.
+        match unsafe { (*self.info).state.load(Acquire) } {
             state::UNDECIDED => PausedState::Undecided,
             state::TRY => PausedState::Try,
             state::COMMIT => PausedState::Committed,
@@ -179,5 +180,59 @@ impl<K, V> Drop for PausedUpdate<'_, K, V> {
         // Dropping without resume == crash (abandon).
         self.guard.take();
         let _ = self.resumed;
+    }
+}
+
+/// A counting wrapper around the system allocator, for asserting the
+/// arena's steady-state behaviour (see `tests/alloc_steady_state.rs`):
+/// install it with `#[global_allocator]` in a test binary and diff
+/// [`allocations`](CountingAllocator::allocations) around the region
+/// under test. Read paths must show a delta of zero; warm update loops
+/// must drop to the pool-miss fallback.
+pub struct CountingAllocator {
+    allocs: std::sync::atomic::AtomicU64,
+    bytes: std::sync::atomic::AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counting allocator (all counters zero).
+    #[allow(clippy::new_without_default)] // const-init for statics
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocs: std::sync::atomic::AtomicU64::new(0),
+            bytes: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of allocation calls (alloc + realloc) served so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the global allocator so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates verbatim to `std::alloc::System`; the counters are
+// plain relaxed atomics with no effect on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.allocs.fetch_add(1, Relaxed);
+        self.bytes.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { std::alloc::GlobalAlloc::alloc(&std::alloc::System, layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::GlobalAlloc::dealloc(&std::alloc::System, ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.allocs.fetch_add(1, Relaxed);
+        self.bytes.fetch_add(new_size as u64, Relaxed);
+        unsafe { std::alloc::GlobalAlloc::realloc(&std::alloc::System, ptr, layout, new_size) }
     }
 }

@@ -11,8 +11,9 @@
 use crossbeam_epoch::{self as epoch, Guard, Shared};
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::AtomicU64;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, Relaxed};
 
+use crate::arena;
 use crate::info::{Info, InfoPtr, NodePtr, OpKind, UpdateWord};
 use crate::key::SKey;
 use crate::node::Node;
@@ -146,13 +147,28 @@ where
     /// for diagnostics and tests: it advances once per range scan or
     /// snapshot.
     pub fn phase(&self) -> u64 {
-        self.counter.load(SeqCst)
+        // Relaxed: a diagnostic snapshot of a monotone counter — no
+        // protocol decision hangs off this read.
+        self.counter.load(Relaxed)
     }
 
     /// Read the operation statistics counters (all zero unless the
     /// `stats` feature is enabled).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Read `Counter` at the start of an attempt / read-only pass (paper
+    /// lines 74, 155, 177).
+    ///
+    /// Acquire: the version-`seq` interpretation of the child pointers
+    /// loaded by the subsequent search must not float above this read.
+    /// Staleness is benign — a commit is only possible after `Help`'s
+    /// SeqCst handshake re-confirms the phase — so the scan-handshake
+    /// total order is not needed here.
+    #[inline]
+    fn read_phase(&self) -> u64 {
+        self.counter.load(Acquire)
     }
 
     /// Insert `key → value`. Returns `true` if the key was absent and was
@@ -229,7 +245,7 @@ where
     /// path — no per-op pin).
     pub(crate) fn get_in(&self, key: &K, guard: &Guard) -> Option<V> {
         loop {
-            let seq = self.counter.load(SeqCst); // line 74
+            let seq = self.read_phase(); // line 74
             let (gp, p, l) = self.search(key, seq, guard); // line 75
 
             // SAFETY: `search` returns non-null p and l (Invariant 4.7).
@@ -250,7 +266,7 @@ where
     /// [`contains`](Self::contains) under a caller-provided guard.
     pub(crate) fn contains_in(&self, key: &K, guard: &Guard) -> bool {
         loop {
-            let seq = self.counter.load(SeqCst);
+            let seq = self.read_phase();
             let (gp, p, l) = self.search(key, seq, guard);
             let p_ref = unsafe { p.deref() };
             if self.validate_leaf(gp, p_ref, l, key, guard).is_some() {
@@ -315,7 +331,7 @@ where
         guard: &Guard,
     ) -> AttemptOutcome<bool, K, V> {
         self.stats.update_attempts();
-        let seq = self.counter.load(SeqCst); // line 155
+        let seq = self.read_phase(); // line 155
         let (gp, p, l) = self.search(key, seq, guard); // line 156
 
         // SAFETY: non-null per Invariant 4.8.
@@ -364,20 +380,20 @@ where
         seq: u64,
         _guard: &Guard,
     ) -> NodePtr<K, V> {
-        let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+        let new_leaf: NodePtr<K, V> = arena::alloc(Node::leaf(
             SKey::Fin(key.clone()),
             Some(value.clone()),
             seq,
             std::ptr::null(),
             self.dummy,
-        )));
-        let sibling_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+        ));
+        let sibling_leaf: NodePtr<K, V> = arena::alloc(Node::leaf(
             l_ref.key.clone(),
             l_ref.value.clone(),
             seq,
             std::ptr::null(),
             self.dummy,
-        )));
+        ));
         // Smaller key goes left; the internal node takes the larger key.
         let key_lt_leaf = l_ref.key.fin_lt(key); // k < l.key
         let (lc, rc) = if key_lt_leaf {
@@ -386,14 +402,7 @@ where
             (sibling_leaf, new_leaf)
         };
         let internal_key = std::cmp::max(SKey::Fin(key.clone()), l_ref.key.clone());
-        Box::into_raw(Box::new(Node::internal(
-            internal_key,
-            seq,
-            l_raw,
-            lc,
-            rc,
-            self.dummy,
-        )))
+        arena::alloc(Node::internal(internal_key, seq, l_raw, lc, rc, self.dummy))
     }
 
     /// One `Upsert` attempt: the insert shape when the key is absent, or
@@ -406,7 +415,7 @@ where
         guard: &Guard,
     ) -> AttemptOutcome<Option<V>, K, V> {
         self.stats.update_attempts();
-        let seq = self.counter.load(SeqCst);
+        let seq = self.read_phase();
         let (gp, p, l) = self.search(key, seq, guard);
 
         // SAFETY: non-null per Invariant 4.8.
@@ -419,13 +428,13 @@ where
         let (kind, new_child, displaced) = if l_ref.key.fin_eq(key) {
             // Replace shape: one fresh leaf, prev = the old leaf, so
             // version-`seq` readers still reach the displaced value.
-            let new_leaf: NodePtr<K, V> = Box::into_raw(Box::new(Node::leaf(
+            let new_leaf: NodePtr<K, V> = arena::alloc(Node::leaf(
                 SKey::Fin(key.clone()),
                 Some(value.clone()),
                 seq,
                 l.as_raw(),
                 self.dummy,
-            )));
+            ));
             (OpKind::Replace, new_leaf, l_ref.value.clone())
         } else {
             let new_internal = self.build_insert_subtree(key, value, l_ref, l.as_raw(), seq, guard);
@@ -457,7 +466,7 @@ where
     /// One `Delete` attempt (paper lines 169–195, one pass of the loop).
     pub(crate) fn delete_attempt(&self, key: &K, guard: &Guard) -> AttemptOutcome<Option<V>, K, V> {
         self.stats.update_attempts();
-        let seq = self.counter.load(SeqCst); // line 177
+        let seq = self.read_phase(); // line 177
         let (gp, p, l) = self.search(key, seq, guard); // line 178
 
         // SAFETY: non-null per Invariant 4.9.
@@ -488,24 +497,24 @@ where
         // and prev = p (line 185). Sharing the sibling's children is
         // safe because the sibling is frozen before the child CAS.
         let new_node: NodePtr<K, V> = if sib_ref.leaf {
-            Box::into_raw(Box::new(Node::leaf(
+            arena::alloc(Node::leaf(
                 sib_ref.key.clone(),
                 sib_ref.value.clone(),
                 seq,
                 p.as_raw(),
                 self.dummy,
-            )))
+            ))
         } else {
             let sl = sib_ref.load_child(true, guard);
             let sr = sib_ref.load_child(false, guard);
-            Box::into_raw(Box::new(Node::internal(
+            arena::alloc(Node::internal(
                 sib_ref.key.clone(),
                 seq,
                 p.as_raw(),
                 sl.as_raw(),
                 sr.as_raw(),
                 self.dummy,
-            )))
+            ))
         };
         // Lines 186–189: obtain supdate, validating that the copied
         // children are still the sibling's current children.
@@ -523,11 +532,9 @@ where
                 Some(up) => up,
                 None => {
                     self.stats.validation_failures();
-                    // Never published: free the copy immediately.
-                    // SAFETY: no other thread has seen new_node.
-                    unsafe {
-                        drop(Box::from_raw(new_node as *mut Node<K, V>));
-                    }
+                    // Never published: no other thread has seen
+                    // new_node — recycle it immediately.
+                    arena::free_now(new_node as *mut Node<K, V>);
                     return AttemptOutcome::Retry;
                 }
             }
@@ -566,6 +573,8 @@ impl<K, V> Drop for PnbBst<K, V> {
         // tree (child pointers only — every prev-target was already
         // retired through the epoch collector when it was unlinked) plus
         // the dummy Info are exactly what we still own.
+        // All orderings Relaxed: `&mut self` proves quiescence — no
+        // concurrent access exists to order against.
         unsafe {
             let guard = epoch::unprotected();
             let mut stack: Vec<NodePtr<K, V>> = vec![self.root];
@@ -573,20 +582,20 @@ impl<K, V> Drop for PnbBst<K, V> {
                 let node = &*ptr;
                 // Release the Info reference held by this node's update
                 // field.
-                let info = node.update.load(SeqCst, guard).as_raw();
+                let info = node.update_word().load(Relaxed, guard).as_raw();
                 if !std::ptr::eq(info, self.dummy) {
                     let i = &*info;
                     debug_assert!(
-                        !i.retired.load(SeqCst),
+                        !i.retired.load(Relaxed),
                         "live node references a retired Info"
                     );
-                    if i.refs.fetch_sub(1, SeqCst) == 1 {
+                    if i.refs.fetch_sub(1, Relaxed) == 1 {
                         drop(Box::from_raw(info as *mut Info<K, V>));
                     }
                 }
                 if !node.leaf {
-                    stack.push(node.left.load(SeqCst, guard).as_raw());
-                    stack.push(node.right.load(SeqCst, guard).as_raw());
+                    stack.push(node.child_word(true).load(Relaxed, guard).as_raw());
+                    stack.push(node.child_word(false).load(Relaxed, guard).as_raw());
                 }
                 drop(Box::from_raw(ptr as *mut Node<K, V>));
             }
@@ -610,7 +619,9 @@ where
     #[doc(hidden)]
     pub fn check_invariants(&self) -> usize {
         let guard = &epoch::pin();
-        let counter = self.counter.load(SeqCst);
+        // Acquire: this walk is meant for quiescent points; Acquire
+        // keeps the seq bound read ordered before the child loads.
+        let counter = self.counter.load(Acquire);
         let mut count = 0usize;
         // (node, lower bound exclusive?, upper bound) — keys in a left
         // subtree are < parent key; right subtree keys are >= parent key.

@@ -104,7 +104,13 @@ where
         // SAFETY: `up.info` was read from a reachable node's update field
         // under the caller's guard; Info objects are retired only via the
         // epoch collector, so the reference is valid while pinned.
-        let st = unsafe { (*up.info).state.load(std::sync::atomic::Ordering::SeqCst) };
+        // Acquire: pairs with the AcqRel state transitions, so a thread
+        // that observes a decision (Commit/Abort) also observes the
+        // child CAS / cleanup ordered before it. Staleness here is
+        // benign: a conservatively-frozen verdict only causes a retry,
+        // and a stale not-frozen verdict is caught by the freeze CAS's
+        // expected-value check.
+        let st = unsafe { (*up.info).state.load(std::sync::atomic::Ordering::Acquire) };
         match up.tag {
             crate::info::FreezeTag::Flag => st == state::UNDECIDED || st == state::TRY,
             crate::info::FreezeTag::Mark => st != state::ABORT,
@@ -117,7 +123,7 @@ mod tests {
     use super::*;
     use crate::info::{FreezeTag, Info};
     use crossbeam_epoch as epoch;
-    use std::sync::atomic::Ordering::SeqCst;
+    use std::sync::atomic::Ordering::Relaxed;
 
     #[test]
     fn frozen_truth_table() {
@@ -135,7 +141,7 @@ mod tests {
             (FreezeTag::Mark, state::ABORT, false),
         ];
         for (tag, st, expect) in cases {
-            info.state.store(st, SeqCst);
+            info.state.store(st, Relaxed);
             let w = UpdateWord::new(tag, ptr);
             assert_eq!(t.frozen(w), expect, "tag={tag:?} state={st}");
         }
@@ -188,16 +194,16 @@ mod tests {
         let guard = &epoch::pin();
         // SAFETY: single-threaded test; the root outlives the guard.
         let root = unsafe { &*t.root };
-        let l = root.left.load(SeqCst, guard);
-        let r = root.right.load(SeqCst, guard);
-        root.left.store(r, SeqCst);
-        root.right.store(l, SeqCst);
+        let l = root.child_word(true).load(Relaxed, guard);
+        let r = root.child_word(false).load(Relaxed, guard);
+        root.child_word(true).store(r, Relaxed);
+        root.child_word(false).store(l, Relaxed);
         let verdict =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.check_invariants()));
         assert!(verdict.is_err(), "corrupted tree must be rejected");
         // Restore the links so teardown walks a sane tree.
-        root.left.store(l, SeqCst);
-        root.right.store(r, SeqCst);
+        root.child_word(true).store(l, Relaxed);
+        root.child_word(false).store(r, Relaxed);
         assert_eq!(t.check_invariants(), 5, "restored tree is valid again");
     }
 

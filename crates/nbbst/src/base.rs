@@ -14,7 +14,7 @@
 //! was there (initially null) — it is never dereferenced while `Clean`.
 
 use crossbeam_epoch::{Atomic, Guard, Shared};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::Acquire;
 
 /// Key extended with the two infinity sentinels (`Fin < Inf1 < Inf2`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -176,17 +176,23 @@ impl<K, V> Node<K, V> {
         }
     }
 
+    /// Acquire: pairs with the Release flag/mark CAS that published the
+    /// record, so its fields are visible before any dereference. NB-BST
+    /// has no phase counter, hence no total-order (SC) obligation
+    /// anywhere — stale words are caught by CAS expected values.
     #[inline]
     pub(crate) fn load_update(&self, guard: &Guard) -> UpdWord<K, V> {
-        UpdWord::from_shared(self.update.load(SeqCst, guard))
+        UpdWord::from_shared(self.update.load(Acquire, guard))
     }
 
+    /// Acquire: pairs with the Release child CAS publishing the child's
+    /// immutable fields.
     #[inline]
     pub(crate) fn load_child<'g>(&self, left: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
         if left {
-            self.left.load(SeqCst, guard)
+            self.left.load(Acquire, guard)
         } else {
-            self.right.load(SeqCst, guard)
+            self.right.load(Acquire, guard)
         }
     }
 }

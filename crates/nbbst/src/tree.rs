@@ -13,7 +13,7 @@
 //! the update words that point at them.
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 use crate::base::{state, DInfo, IInfo, InfoPtr, Node, NodePtr, OpInfo, OpRecord, SKey, UpdWord};
 
@@ -174,13 +174,20 @@ where
                 new_internal,
             }))));
             // iflag CAS (increment-before-CAS refcount discipline).
-            unsafe { (*op).refs.fetch_add(1, SeqCst) };
+            // Relaxed: pre-publish, the count is creation-owned.
+            unsafe { (*op).refs.fetch_add(1, Relaxed) };
             let p_ref = unsafe { s.p.deref() };
             let new_word = Shared::from(op).with_tag(state::IFLAG);
-            match p_ref
-                .update
-                .compare_exchange(s.pupdate.shared(), new_word, SeqCst, SeqCst, guard)
-            {
+            // Release: publishes the record (and subtree) fields.
+            // Acquire failure: the observed word is helped below, so its
+            // record fields must be visible.
+            match p_ref.update.compare_exchange(
+                s.pupdate.shared(),
+                new_word,
+                Release,
+                Acquire,
+                guard,
+            ) {
                 Ok(_) => {
                     self.dec_ref(s.pupdate.info, guard);
                     self.help_insert(op, guard);
@@ -241,15 +248,16 @@ where
                 l: s.l.as_raw(),
                 pupdate: s.pupdate,
             }))));
-            // dflag CAS.
-            unsafe { (*op).refs.fetch_add(1, SeqCst) };
+            // dflag CAS. Relaxed increment: pre-publish, creation-owned.
+            unsafe { (*op).refs.fetch_add(1, Relaxed) };
             let gp_ref = unsafe { s.gp.deref() };
             let new_word = Shared::from(op).with_tag(state::DFLAG);
+            // Release publish / Acquire failure: as for the iflag CAS.
             match gp_ref.update.compare_exchange(
                 s.gpupdate.shared(),
                 new_word,
-                SeqCst,
-                SeqCst,
+                Release,
+                Acquire,
                 guard,
             ) {
                 Ok(_) => {
@@ -292,13 +300,16 @@ where
             // Winner retires the replaced leaf (leaves hold no record ref).
             unsafe { guard.defer_destroy(Shared::from(i.l)) };
         }
-        // iunflag CAS: IFlag → Clean, same record pointer (no ref change).
+        // iunflag CAS: IFlag → Clean, same record pointer (no ref
+        // change). Release: a reader that observes Clean must also
+        // observe the ichild CAS sequenced before it. Relaxed failure:
+        // the observed word is discarded.
         let p = unsafe { &*i.p };
         let _ = p.update.compare_exchange(
             Shared::from(op).with_tag(state::IFLAG),
             Shared::from(op).with_tag(state::CLEAN),
-            SeqCst,
-            SeqCst,
+            Release,
+            Relaxed,
             guard,
         );
     }
@@ -307,13 +318,16 @@ where
         // SAFETY: as in help_insert.
         let d = unsafe { (*op).as_delete() };
         let p = unsafe { &*d.p };
-        // mark CAS on p.
-        unsafe { (*op).refs.fetch_add(1, SeqCst) };
+        // mark CAS on p. Relaxed increment: we already hold a reference
+        // (the record is published) — the Arc::clone pattern.
+        unsafe { (*op).refs.fetch_add(1, Relaxed) };
+        // Release: marking is the publication point helpers order on.
+        // Acquire failure: `cur` is dereferenced by `help` below.
         match p.update.compare_exchange(
             d.pupdate.shared(),
             Shared::from(op).with_tag(state::MARK),
-            SeqCst,
-            SeqCst,
+            Release,
+            Acquire,
             guard,
         ) {
             Ok(_) => {
@@ -332,12 +346,15 @@ where
                     // Someone else got in the way: help them, then
                     // backtrack-unflag gp so progress can resume.
                     self.help(cur, guard);
+                    // Backtrack-unflag: Release so observers of Clean
+                    // see the abandoned attempt's effects; failure value
+                    // discarded.
                     let gp = unsafe { &*d.gp };
                     let _ = gp.update.compare_exchange(
                         Shared::from(op).with_tag(state::DFLAG),
                         Shared::from(op).with_tag(state::CLEAN),
-                        SeqCst,
-                        SeqCst,
+                        Release,
+                        Relaxed,
                         guard,
                     );
                     false
@@ -364,12 +381,14 @@ where
             unsafe { guard.defer_destroy(Shared::from(d.l)) };
         }
         // dunflag CAS on gp (same record pointer, no ref change).
+        // Release: Clean implies the dchild CAS is visible; failure
+        // value discarded.
         let gp = unsafe { &*d.gp };
         let _ = gp.update.compare_exchange(
             Shared::from(op).with_tag(state::DFLAG),
             Shared::from(op).with_tag(state::CLEAN),
-            SeqCst,
-            SeqCst,
+            Release,
+            Relaxed,
             guard,
         );
     }
@@ -389,8 +408,18 @@ where
         } else {
             &parent.right
         };
+        // Release: publishes the new subtree's fields (pairs with
+        // `load_child`'s Acquire). Acquire failure: losing means a
+        // fellow helper swung the pointer; acquire its Release so our
+        // unflag CAS carries visibility of the new child.
         field
-            .compare_exchange(Shared::from(old), Shared::from(new), SeqCst, SeqCst, guard)
+            .compare_exchange(
+                Shared::from(old),
+                Shared::from(new),
+                Release,
+                Acquire,
+                guard,
+            )
             .is_ok()
     }
 
@@ -408,7 +437,11 @@ where
             return;
         }
         let i = unsafe { &*info };
-        if i.refs.fetch_sub(1, SeqCst) == 1 && !i.retired.swap(true, SeqCst) {
+        // AcqRel sub (Arc drop pattern): Release our prior uses before
+        // the decrement; Acquire the others' on the final one. AcqRel
+        // swap: the count can touch zero more than once (increment-
+        // before-CAS), so the swap elects the single retiring thread.
+        if i.refs.fetch_sub(1, AcqRel) == 1 && !i.retired.swap(true, AcqRel) {
             unsafe { guard.defer_destroy(Shared::from(info)) };
         }
     }
@@ -475,21 +508,22 @@ where
 
 impl<K, V> Drop for NbBst<K, V> {
     fn drop(&mut self) {
+        // All orderings Relaxed: `&mut self` proves quiescence.
         unsafe {
             let guard = epoch::unprotected();
             let mut stack: Vec<NodePtr<K, V>> = vec![self.root];
             while let Some(ptr) = stack.pop() {
                 let node = &*ptr;
-                let info = node.update.load(SeqCst, guard).as_raw();
+                let info = node.update.load(Relaxed, guard).as_raw();
                 if !info.is_null() {
                     let i = &*info;
-                    if i.refs.fetch_sub(1, SeqCst) == 1 {
+                    if i.refs.fetch_sub(1, Relaxed) == 1 {
                         drop(Box::from_raw(info as *mut OpInfo<K, V>));
                     }
                 }
                 if !node.leaf {
-                    stack.push(node.left.load(SeqCst, guard).as_raw());
-                    stack.push(node.right.load(SeqCst, guard).as_raw());
+                    stack.push(node.left.load(Relaxed, guard).as_raw());
+                    stack.push(node.right.load(Relaxed, guard).as_raw());
                 }
                 drop(Box::from_raw(ptr as *mut Node<K, V>));
             }

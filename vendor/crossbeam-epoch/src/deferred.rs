@@ -6,10 +6,16 @@
 //! no reader can still hold the pointer, at which point [`Deferred::run`]
 //! executes the destructor.
 
-/// A type-erased deferred destruction of one `Box<T>` allocation.
+/// A type-erased deferred reclamation of one allocation: either a plain
+/// `Box<T>` drop, or a caller-provided *recycle* function (used by
+/// arena-style allocators to route ripe memory back into a pool instead
+/// of the global allocator).
 pub(crate) struct Deferred {
     data: *mut (),
-    call: unsafe fn(*mut ()),
+    /// Recycle hook (type-erased `unsafe fn(*mut T)`); null for the
+    /// plain `drop_box` flavour.
+    aux: *const (),
+    call: unsafe fn(*mut (), *const ()),
 }
 
 // SAFETY: deferred destructions may be executed by any thread once the
@@ -25,19 +31,40 @@ impl Deferred {
     /// must eventually execute (the queue guarantees this — a bag is
     /// popped by exactly one collector).
     pub(crate) fn drop_box<T>(ptr: *mut T) -> Deferred {
-        unsafe fn call<T>(p: *mut ()) {
+        unsafe fn call<T>(p: *mut (), _aux: *const ()) {
             drop(Box::from_raw(p as *mut T));
         }
         Deferred {
             data: ptr as *mut (),
+            aux: std::ptr::null(),
+            call: call::<T>,
+        }
+    }
+
+    /// Erase an allocation plus a typed recycle function: when the epoch
+    /// protocol proves the memory unreachable, `recycle(ptr)` runs (on
+    /// whichever thread performs the collection pass) instead of a
+    /// `Box` drop. The function must fully dispose of the allocation
+    /// (run the destructor and free or pool the memory).
+    pub(crate) fn recycle<T>(ptr: *mut T, recycle: unsafe fn(*mut T)) -> Deferred {
+        unsafe fn call<T>(p: *mut (), aux: *const ()) {
+            // SAFETY: `aux` was produced from exactly this fn-pointer
+            // type in `Deferred::recycle::<T>` below; pointer-sized fn
+            // pointers round-trip through `*const ()`.
+            let f: unsafe fn(*mut T) = std::mem::transmute(aux);
+            f(p as *mut T);
+        }
+        Deferred {
+            data: ptr as *mut (),
+            aux: recycle as *const (),
             call: call::<T>,
         }
     }
 
     /// Execute the destruction.
     pub(crate) fn run(self) {
-        // SAFETY: constructed from a matching (data, call) pair.
-        unsafe { (self.call)(self.data) }
+        // SAFETY: constructed from a matching (data, aux, call) triple.
+        unsafe { (self.call)(self.data, self.aux) }
     }
 }
 
@@ -63,5 +90,19 @@ mod tests {
         assert_eq!(DROPS.load(Ordering::SeqCst), before);
         d.run();
         assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+
+    #[test]
+    fn recycle_runs_the_hook_instead_of_dropping() {
+        static RECYCLED: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn hook(p: *mut u64) {
+            RECYCLED.fetch_add(unsafe { *p } as usize, Ordering::SeqCst);
+            drop(unsafe { Box::from_raw(p) });
+        }
+        let before = RECYCLED.load(Ordering::SeqCst);
+        let d = Deferred::recycle(Box::into_raw(Box::new(7u64)), hook);
+        assert_eq!(RECYCLED.load(Ordering::SeqCst), before);
+        d.run();
+        assert_eq!(RECYCLED.load(Ordering::SeqCst), before + 7);
     }
 }

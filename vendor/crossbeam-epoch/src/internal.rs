@@ -179,7 +179,13 @@ impl Local {
             let mut bag = self.bag.borrow_mut();
             bag.push(d);
             if bag.len() >= BAG_SEAL_THRESHOLD {
-                Some(std::mem::take(&mut *bag))
+                // Replace with a pre-sized bag: one allocation per seal
+                // cycle instead of log₂(threshold) growth reallocations
+                // — keeps steady-state defer traffic nearly alloc-free.
+                Some(std::mem::replace(
+                    &mut *bag,
+                    Vec::with_capacity(BAG_SEAL_THRESHOLD),
+                ))
             } else {
                 None
             }
@@ -283,6 +289,35 @@ impl Guard {
         let raw = ptr.as_raw() as *mut T;
         debug_assert!(!raw.is_null(), "defer_destroy(null)");
         let d = Deferred::drop_box(raw);
+        if self.protected {
+            LOCAL.with(|l| l.defer(d));
+        } else {
+            d.run();
+        }
+    }
+
+    /// Defer reclamation of `ptr` through a typed *recycle* hook: once
+    /// the epoch protocol proves no pinned thread can still reference
+    /// the allocation, `recycle(ptr)` runs — on whichever thread
+    /// performs the collection pass — instead of a `Box` drop. Arena
+    /// allocators use this to route ripe memory back into their
+    /// per-thread pools rather than the global allocator.
+    ///
+    /// On the [`unprotected`] guard the hook runs immediately (the
+    /// caller vouches for exclusive access, as with `defer_destroy`).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`defer_destroy`](Guard::defer_destroy): `ptr`
+    /// must point to a live allocation no longer reachable by threads
+    /// pinning after this call, retired at most once. Additionally
+    /// `recycle` must fully dispose of the allocation (run the
+    /// destructor and free or pool the memory) and be safe to call from
+    /// any thread.
+    pub unsafe fn defer_recycle<T>(&self, ptr: Shared<'_, T>, recycle: unsafe fn(*mut T)) {
+        let raw = ptr.as_raw() as *mut T;
+        debug_assert!(!raw.is_null(), "defer_recycle(null)");
+        let d = Deferred::recycle(raw, recycle);
         if self.protected {
             LOCAL.with(|l| l.defer(d));
         } else {
