@@ -1,0 +1,77 @@
+//! E10 — shard scaling (extension; not a paper experiment). Point-op
+//! throughput of the sharded front-end (`pnb_shard::ShardedPnbBst`
+//! through the `Sharded` adapter) as the shard count grows, against the
+//! unsharded tree.
+//!
+//! Sharding divides everything that contends inside one PNB-BST — the
+//! freeze/child CAS traffic, the helping collisions, the phase counter
+//! that every scan bumps — by the shard count, and shrinks each tree's
+//! depth by `log2(N)`. The update-only 50i/50d mix is where those
+//! effects concentrate; the range mix rides along to price the
+//! cross-shard merge (one phase close per participating shard).
+//!
+//! The `experiments e10` table covers the same axis through the timed
+//! ops/sec lens and emits the JSON trajectory rows CI records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnbbst_bench::adapters::{Pnb, Sharded};
+use std::time::Duration;
+use workload::{prefill, run_fixed_ops, ConcurrentMap, KeyDist, Mix};
+
+const KEY_RANGE: u64 = 100_000;
+const OPS_PER_THREAD: u64 = 10_000;
+
+fn bench_map<M: ConcurrentMap>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    map: &M,
+    label: &str,
+    mix: Mix,
+) {
+    let dist = KeyDist::uniform(KEY_RANGE);
+    prefill(map, KEY_RANGE, 0.5, 42);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    total += run_fixed_ops(map, threads, OPS_PER_THREAD, mix, &dist, 4242 + i);
+                }
+                total
+            })
+        });
+    }
+}
+
+fn e10_shard_scaling(c: &mut Criterion) {
+    for (group_name, mix) in [
+        ("e10_shard_scaling/update_50i50d", Mix::update_only()),
+        (
+            "e10_shard_scaling/ranges_25i25d40f10rq",
+            Mix::with_ranges(100),
+        ),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(2));
+
+        let pnb = Pnb::new();
+        bench_map(&mut group, &pnb, "pnb-bst", mix);
+        drop(pnb);
+        pnb_bst::collector_drain(64);
+        pnb_bst::arena_trim();
+
+        for shards in [1usize, 4, 16] {
+            let map = Sharded::with_shards(shards);
+            bench_map(&mut group, &map, &format!("pnb-sharded-x{shards}"), mix);
+            drop(map);
+            pnb_bst::collector_drain(64);
+            pnb_bst::arena_trim(); // heap hygiene between shard counts
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, e10_shard_scaling);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Regenerate the paper-protocol experiment tables (E1–E8, plus the
-//! E8r collector-reclamation extension).
+//! E8r collector-reclamation, E9 allocator-churn and E10 shard-scaling
+//! extensions).
 //!
 //! ```text
 //! cargo run --release -p pnbbst-bench --bin experiments            # full sweep
@@ -7,6 +8,7 @@
 //! cargo run --release -p pnbbst-bench --bin experiments -- e1 e5   # subset
 //! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e7
 //! cargo run --release -p pnbbst-bench --features stats --bin experiments -- e9
+//! cargo run --release -p pnbbst-bench --bin experiments -- e10  # shard-count sweep
 //! cargo run --release -p pnbbst-bench --bin experiments -- --quick --json BENCH_quick.json
 //! ```
 //!
@@ -46,7 +48,9 @@ fn main() {
         })
         .map(|s| s.as_str())
         .collect();
-    let all = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r", "e9"];
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r", "e9", "e10",
+    ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
     } else {
@@ -77,8 +81,9 @@ fn main() {
             "e8" => experiments::e8(&opts, &mut log),
             "e8r" => experiments::e8r(&opts, &mut log),
             "e9" => experiments::e9(&opts, &mut log),
+            "e10" => experiments::e10(&opts, &mut log),
             other => {
-                eprintln!("unknown experiment: {other} (expected e1..e8, e8r, e9)");
+                eprintln!("unknown experiment: {other} (expected e1..e8, e8r, e9, e10)");
                 std::process::exit(2);
             }
         };

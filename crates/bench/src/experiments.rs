@@ -1,4 +1,5 @@
-//! Experiment definitions E1–E8 plus the E8r collector extension (see
+//! Experiment definitions E1–E8 plus the E8r collector, E9 allocator
+//! and E10 shard-scaling extensions (see
 //! DESIGN.md §4): each function runs
 //! one experiment family, renders a markdown section with the same
 //! rows/series the paper's evaluation protocol reports, and appends
@@ -700,6 +701,88 @@ pub fn e9(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out
 }
 
+/// E10 (extension) — shard scaling: point-op throughput of the sharded
+/// front-end vs shard count, against the unsharded tree. The mix is
+/// E1's update-only 50i/50d — the workload where a single tree's CAS,
+/// helping and (with scans present) counter traffic all concentrate —
+/// so the shard count divides the contended state `N` ways. The JSON
+/// rows tag the sharded series `pnb-sharded-x{N}` so every shard count
+/// is its own trajectory series, and carry an explicit `shards` field.
+pub fn e10(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
+    let shard_counts: Vec<usize> = if opts.quick {
+        vec![1, 2, 8]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let threads: Vec<usize> = if opts.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
+    let mix = Mix::update_only();
+    let mut out = format!(
+        "\n### E10 — Shard scaling (50i/50d point ops, key range {kr})\n\n\
+         | structure |"
+    );
+    for t in &threads {
+        out.push_str(&format!(" {t} thr |"));
+    }
+    out.push_str("\n|---|");
+    for _ in &threads {
+        out.push_str("---|");
+    }
+    out.push('\n');
+
+    let mut run_row = |s: &Structure, label: String, shards: u64, log: &mut JsonLog| {
+        let mut cells = Vec::new();
+        for &t in &threads {
+            let fresh = s.fresh(); // fresh instance per cell: no carry-over heap
+            let cfg = RunConfig::new(t, opts.duration(), KeyDist::uniform(kr), mix);
+            eprintln!("  {label} / {t} threads ...");
+            let m = fresh
+                .run_throughput(&cfg)
+                .expect("update-only mix needs only point ops");
+            log.push(
+                "e10",
+                &[
+                    ("structure", Val::s(&label)),
+                    ("shards", Val::U(shards)),
+                    ("threads", Val::U(t as u64)),
+                    ("key_range", Val::U(kr)),
+                    ("total_ops", Val::U(m.total_ops)),
+                    ("ops_per_sec", Val::F(m.ops_per_sec)),
+                ],
+            );
+            cells.push(fmt_tput(m.ops_per_sec));
+            pnb_bst::collector_drain(64);
+            pnb_bst::arena_trim(); // heap hygiene between cells
+        }
+        out.push_str(&format!("| {label} |"));
+        for c in cells {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+    };
+
+    // Unsharded reference: the same tree the sharded series wraps.
+    run_row(
+        &Structure::Pnb(adapters::Pnb::new()),
+        "pnb-bst".to_string(),
+        1,
+        log,
+    );
+    for &n in &shard_counts {
+        run_row(
+            &Structure::PnbSharded(adapters::Sharded::with_shards(n)),
+            format!("pnb-sharded-x{n}"),
+            n as u64,
+            log,
+        );
+    }
+    out
+}
+
 fn fmt_bytes(b: u64) -> String {
     if b >= 1 << 20 {
         format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
@@ -800,6 +883,19 @@ mod tests {
             // The pnb rows must show the pools actually working.
             assert!(rendered.contains("\"stats_enabled\": true"));
         }
+    }
+
+    #[test]
+    fn e10_reports_shard_scaling_rows() {
+        let mut log = JsonLog::new();
+        let s = e10(&tiny(), &mut log);
+        assert!(s.contains("pnb-bst"));
+        assert!(s.contains("pnb-sharded-x8"));
+        // (1 unsharded + 3 shard counts) × 3 thread counts in quick mode.
+        assert_eq!(log.len(), 12);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e10\""));
+        assert!(rendered.contains("\"shards\": 8"));
     }
 
     #[test]

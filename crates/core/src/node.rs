@@ -10,7 +10,7 @@
 //! [`NodeHot`] words (`update`, `left`, `right`) are mutated, and only by
 //! CAS after initialization.
 //!
-//! # Hot/cold layout
+//! # Hot/cold layout (`hot-cold-layout` feature, default on)
 //!
 //! The three CAS words are segregated into their own cache line
 //! ([`NodeHot`], `align(64)`): freeze and child-swing CAS traffic from
@@ -20,6 +20,16 @@
 //! construction — no false sharing between searchers and updaters.
 //! `#[repr(C)]` pins the cold fields in front so the split is a layout
 //! guarantee, not an optimizer mood.
+//!
+//! The split is a genuine *trade*: the 64-byte alignment grows a
+//! `u64→u64` node from 80 B to 128 B, and on a single core — where no
+//! other cache can invalidate anything — that is pure read tax
+//! (measured 20–30% on E2 large-tree searches; DESIGN.md §3.5).
+//! Building with `--no-default-features` drops the alignment: `NodeHot`
+//! stays a distinct `#[repr(C)]` tail section (same field order, same
+//! code), it just packs flush against the cold fields again. Every
+//! protocol invariant is layout-independent; only the false-sharing
+//! isolation is feature-gated.
 //!
 //! The `prev` pointer is what makes the tree *persistent*: whenever a
 //! child CAS replaces node `u` by `u'`, `u'.prev == u`, so
@@ -32,9 +42,12 @@ use std::sync::atomic::Ordering::{Acquire, SeqCst};
 use crate::info::{FreezeTag, Info, InfoPtr, NodePtr, UpdateWord};
 use crate::key::SKey;
 
-/// The CAS-hot words of a node, cache-line-isolated from the immutable
-/// routing fields (see module docs).
-#[repr(C, align(64))]
+/// The CAS-hot words of a node — cache-line-isolated from the immutable
+/// routing fields when the `hot-cold-layout` feature (default on) is
+/// enabled, densely packed after them when it is not (see module docs
+/// for the tradeoff).
+#[repr(C)]
+#[cfg_attr(feature = "hot-cold-layout", repr(align(64)))]
 pub(crate) struct NodeHot<K, V> {
     /// The paper's `Update` CAS word: tagged pointer to an [`Info`].
     pub update: Atomic<Info<K, V>>,
@@ -239,6 +252,18 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "hot-cold-layout"))]
+    #[test]
+    fn compact_layout_without_the_feature() {
+        // Opting out must actually shed the alignment cost: the hot
+        // words pack flush against the cold fields (pointer-aligned,
+        // not line-aligned) and a u64→u64 node stays under the two
+        // cache lines the split costs.
+        assert_eq!(std::mem::align_of::<NodeHot<u64, u64>>(), 8);
+        assert!(std::mem::size_of::<Node<u64, u64>>() < 128);
+    }
+
+    #[cfg(feature = "hot-cold-layout")]
     #[test]
     fn hot_cold_split_is_a_layout_guarantee() {
         // The mutable words must live in a different cache line than

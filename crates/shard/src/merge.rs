@@ -1,0 +1,121 @@
+//! Lazy k-way merge over per-shard [`Range`] iterators.
+//!
+//! Each shard's `Range` yields its keys in ascending order, and a key
+//! lives on exactly one shard (the partitioner is a function), so
+//! merging by minimum head reproduces the globally ascending order
+//! without ever materializing a shard's result set. Laziness is
+//! inherited: creating the merge only *creates* the per-shard
+//! iterators (each of which closes its shard's phase without
+//! traversing anything); all traversal work happens one `next()` at a
+//! time, and abandoning the merge early abandons the remaining work.
+
+use pnb_bst::Range;
+
+/// A lazy, ascending iterator over the union of per-shard range
+/// queries — the cross-shard analogue of [`pnb_bst::Range`].
+///
+/// Created by [`ShardedSession::range`](crate::ShardedSession::range) /
+/// [`iter`](crate::ShardedSession::iter) (which close one phase per
+/// participating shard, in descending shard order — see the crate docs
+/// for the consistency model) or by
+/// [`ShardedSnapshot::range`](crate::ShardedSnapshot::range) (which
+/// reuses the snapshot's already-closed phases).
+///
+/// The merge holds one buffered head entry per shard and selects the
+/// minimum on each `next()` — `O(shards)` per item, which for the
+/// intended shard counts (a few dozen at most) beats a binary heap's
+/// constant factors and allocates nothing beyond the head slots. The
+/// heads are primed on the *first* `next()` call (one initial descent
+/// per participating shard), so constructing and then abandoning a
+/// merge — or only inspecting [`width`](Self::width) — traverses
+/// nothing.
+pub struct MergeRange<'a, K, V> {
+    /// One [`Source`] per participating shard. Heads are meaningless
+    /// until `primed`.
+    sources: Vec<Source<'a, K, V>>,
+    /// Whether the first `next()` has buffered every source's head.
+    primed: bool,
+}
+
+/// One merge participant: the buffered head entry (`None` once the
+/// source is exhausted) and the per-shard iterator feeding it.
+type Source<'a, K, V> = (Option<(K, V)>, Range<'a, K, V>);
+
+impl<'a, K, V> MergeRange<'a, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Merge the given per-shard iterators. The caller is responsible
+    /// for the creation-order discipline that gives the merged view its
+    /// consistency guarantee; this type only merges.
+    pub(crate) fn new(ranges: Vec<Range<'a, K, V>>) -> Self {
+        MergeRange {
+            sources: ranges.into_iter().map(|r| (None, r)).collect(),
+            primed: false,
+        }
+    }
+
+    /// How many per-shard iterators participate (diagnostics; shards
+    /// skipped by the partitioner's range analysis are not counted).
+    pub fn width(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl<K, V> Iterator for MergeRange<'_, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        // First poll: buffer every source's head (the one place the
+        // per-shard initial descents happen — not at construction).
+        if !self.primed {
+            for (head, source) in &mut self.sources {
+                *head = source.next();
+            }
+            self.primed = true;
+        }
+        // Index of the source holding the smallest buffered key. Keys
+        // are unique across shards (one partitioner owner per key), so
+        // ties cannot arise from a well-formed map; `<` keeps the merge
+        // stable by shard position if they somehow do.
+        let mut min: Option<usize> = None;
+        for (i, (head, _)) in self.sources.iter().enumerate() {
+            if let Some((k, _)) = head {
+                match min {
+                    Some(m) => {
+                        let (mk, _) = self.sources[m].0.as_ref().expect("min head is buffered");
+                        if k < mk {
+                            min = Some(i);
+                        }
+                    }
+                    None => min = Some(i),
+                }
+            }
+        }
+        let i = min?;
+        let (head, source) = &mut self.sources[i];
+        let item = head.take();
+        *head = source.next();
+        item
+    }
+}
+
+impl<K, V> std::iter::FusedIterator for MergeRange<'_, K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+}
+
+impl<K, V> std::fmt::Debug for MergeRange<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeRange")
+            .field("width", &self.sources.len())
+            .finish()
+    }
+}

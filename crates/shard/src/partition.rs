@@ -1,0 +1,354 @@
+//! Key-space partitioners: the routing policy of a
+//! [`ShardedPnbBst`](crate::ShardedPnbBst).
+//!
+//! A partitioner is a *pure function* from key to shard index. The
+//! sharded map never stores routing state — every point operation
+//! recomputes the shard from the key — so the entire correctness
+//! contract of a partitioner is determinism (see [`Partitioner`]).
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`RangePrefixPartitioner`] (the default for `u64` keys): hashes
+//!   the key's *block prefix* (`key >> block_bits`), so keys inside one
+//!   aligned block of `2^block_bits` keys land on the same shard and
+//!   narrow range queries stay shard-local, while distinct blocks still
+//!   spread uniformly. It also implements
+//!   [`shards_for_range`](Partitioner::shards_for_range), which is what
+//!   lets cross-shard range queries skip shards that cannot hold a
+//!   matching key.
+//! * [`HashPartitioner`]: plain per-key hashing for any `K: Hash`.
+//!   Best point-op load spread; every range query must visit every
+//!   shard.
+
+use std::hash::{Hash, Hasher};
+use std::ops::Bound;
+
+/// The routing policy of a sharded map: a deterministic, total mapping
+/// from keys to shard indices.
+///
+/// # Contract
+///
+/// * **Determinism:** `shard_of(k, n)` must return the same index for
+///   the same `(k, n)` forever — the map recomputes the route on every
+///   operation, so a drifting partitioner would make keys unreachable.
+///   (Changing `n` may reshuffle everything; the sharded map fixes the
+///   shard count at construction.)
+/// * **Totality and range:** every key must map to some index
+///   `< shards`; the map does not re-check the bound in release builds.
+/// * **Superset ranges:** when
+///   [`shards_for_range`](Self::shards_for_range) returns `Some(set)`,
+///   the set must contain *every* shard that could hold a key inside
+///   the bounds. Returning a superset (or `None`, meaning "all
+///   shards") is always correct; returning too few shards silently
+///   drops results.
+///
+/// # Example
+///
+/// A partitioner that routes odd and even keys to different shards:
+///
+/// ```
+/// use pnb_shard::{Partitioner, ShardedPnbBst};
+///
+/// struct ParityPartitioner;
+///
+/// impl Partitioner<u64> for ParityPartitioner {
+///     fn shard_of(&self, key: &u64, shards: usize) -> usize {
+///         (*key as usize % 2) % shards
+///     }
+/// }
+///
+/// let map: ShardedPnbBst<u64, &str, _> =
+///     ShardedPnbBst::with_partitioner(2, ParityPartitioner);
+/// let s = map.pin();
+/// s.insert(1, "odd");
+/// s.insert(2, "even");
+/// assert_eq!(map.shard_of(&1), 1);
+/// assert_eq!(map.shard_of(&2), 0);
+/// // Routing is internal: reads see one map.
+/// assert_eq!(s.get(&1), Some("odd"));
+/// assert_eq!(s.range(..).count(), 2);
+/// ```
+pub trait Partitioner<K>: Send + Sync {
+    /// The shard (`< shards`) that owns `key`.
+    fn shard_of(&self, key: &K, shards: usize) -> usize;
+
+    /// The shards that may hold keys within `[lo, hi]`, or `None` for
+    /// "all of them". Used by cross-shard range queries to skip shards
+    /// that cannot contribute; must return a **superset** of the shards
+    /// actually containing matching keys (see the trait contract).
+    ///
+    /// The default is the always-correct `None`.
+    fn shards_for_range(
+        &self,
+        _lo: Bound<&K>,
+        _hi: Bound<&K>,
+        _shards: usize,
+    ) -> Option<Vec<usize>> {
+        None
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed integer hash.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The default partitioner for `u64` keys: hash of the key's *range
+/// prefix*.
+///
+/// Keys are grouped into aligned blocks of `2^block_bits` consecutive
+/// keys; the block index (`key >> block_bits`) is hashed to pick the
+/// shard. Two properties follow:
+///
+/// * a range query no wider than a block overlaps at most two blocks,
+///   so it touches at most two shards (often one) — range queries stay
+///   *shard-local where possible*;
+/// * distinct blocks spread uniformly (the hash breaks up sequential
+///   block-index patterns), so a skewed key distribution still
+///   balances across shards at block granularity.
+///
+/// `block_bits` is the locality/balance dial: larger blocks keep wider
+/// ranges shard-local but concentrate hot key clusters on fewer
+/// shards. The default is 12 (4096-key blocks) — wider than the range
+/// widths the paper's evaluation sweeps (10–10 000, E4) at its low
+/// end, and fine-grained enough that a 100 000-key space still spreads
+/// over ~25 blocks.
+///
+/// ```
+/// use pnb_shard::{Partitioner, RangePrefixPartitioner};
+/// use std::ops::Bound;
+///
+/// let p = RangePrefixPartitioner::with_block_bits(8); // 256-key blocks
+/// // Keys in the same block share a shard...
+/// assert_eq!(p.shard_of(&0, 16), p.shard_of(&255, 16));
+/// // ...and a block-sized range query touches at most two shards.
+/// let shards = p
+///     .shards_for_range(Bound::Included(&100), Bound::Included(&300), 16)
+///     .expect("narrow range resolves to a concrete shard set");
+/// assert!(shards.len() <= 2);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RangePrefixPartitioner {
+    block_bits: u32,
+}
+
+impl RangePrefixPartitioner {
+    /// How many distinct blocks a range may span before
+    /// [`shards_for_range`](Partitioner::shards_for_range) gives up and
+    /// reports "all shards" — scanning more block indices than this
+    /// would cost more than the skipped shards save.
+    const MAX_BLOCK_SPAN: u64 = 64;
+
+    /// Partitioner with the default block size (`2^12` = 4096 keys).
+    pub fn new() -> Self {
+        Self::with_block_bits(12)
+    }
+
+    /// Partitioner with `2^block_bits`-key blocks. `block_bits` is
+    /// clamped to 63.
+    pub fn with_block_bits(block_bits: u32) -> Self {
+        RangePrefixPartitioner {
+            block_bits: block_bits.min(63),
+        }
+    }
+
+    /// The configured block size in keys.
+    pub fn block_size(&self) -> u64 {
+        1u64 << self.block_bits
+    }
+
+    #[inline]
+    fn block_of(&self, key: u64) -> u64 {
+        key >> self.block_bits
+    }
+}
+
+impl Default for RangePrefixPartitioner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner<u64> for RangePrefixPartitioner {
+    #[inline]
+    fn shard_of(&self, key: &u64, shards: usize) -> usize {
+        (mix64(self.block_of(*key)) % shards as u64) as usize
+    }
+
+    fn shards_for_range(
+        &self,
+        lo: Bound<&u64>,
+        hi: Bound<&u64>,
+        shards: usize,
+    ) -> Option<Vec<usize>> {
+        // Superset semantics make the bound arithmetic trivial:
+        // treating an excluded bound as included only widens the set.
+        let lo_block = match lo {
+            Bound::Unbounded => 0,
+            Bound::Included(k) | Bound::Excluded(k) => self.block_of(*k),
+        };
+        let hi_block = match hi {
+            Bound::Unbounded => self.block_of(u64::MAX),
+            Bound::Included(k) | Bound::Excluded(k) => self.block_of(*k),
+        };
+        if hi_block < lo_block {
+            return Some(Vec::new()); // inverted range: nothing matches
+        }
+        if hi_block - lo_block >= Self::MAX_BLOCK_SPAN {
+            return None; // wide range: enumerate nothing, visit all
+        }
+        let mut out: Vec<usize> = (lo_block..=hi_block)
+            .map(|b| (mix64(b) % shards as u64) as usize)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+}
+
+/// Per-key hashing for any `K: Hash`: the best point-operation load
+/// spread, at the price of every range query touching every shard
+/// ([`shards_for_range`](Partitioner::shards_for_range) always reports
+/// "all").
+///
+/// ```
+/// use pnb_shard::{HashPartitioner, ShardedPnbBst};
+///
+/// let map: ShardedPnbBst<String, u32, _> =
+///     ShardedPnbBst::with_partitioner(4, HashPartitioner::new());
+/// let s = map.pin();
+/// s.insert("alpha".to_string(), 1);
+/// s.insert("beta".to_string(), 2);
+/// assert_eq!(s.get(&"alpha".to_string()), Some(1));
+/// let all: Vec<(String, u32)> = s.range(..).collect();
+/// assert_eq!(all.len(), 2); // merged across shards, ascending
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl HashPartitioner {
+    /// A fresh hash partitioner.
+    pub fn new() -> Self {
+        HashPartitioner
+    }
+}
+
+impl<K: Hash + Send + Sync> Partitioner<K> for HashPartitioner {
+    fn shard_of(&self, key: &K, shards: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (mix64(h.finish()) % shards as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_partitioner_is_deterministic_and_in_range() {
+        let p = RangePrefixPartitioner::new();
+        for n in [1usize, 2, 3, 8, 16] {
+            for k in (0..100_000u64).step_by(997) {
+                let s = p.shard_of(&k, n);
+                assert!(s < n);
+                assert_eq!(s, p.shard_of(&k, n));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_partitioner_keeps_blocks_together() {
+        let p = RangePrefixPartitioner::with_block_bits(10);
+        let n = 8;
+        for block in 0..64u64 {
+            let base = block << 10;
+            let s = p.shard_of(&base, n);
+            for off in [1u64, 511, 1023] {
+                assert_eq!(p.shard_of(&(base + off), n), s);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_partitioner_spreads_blocks() {
+        // With many blocks, every shard should own some of them.
+        let p = RangePrefixPartitioner::with_block_bits(4);
+        let n = 8;
+        let mut seen = vec![0usize; n];
+        for k in (0..(1u64 << 12)).step_by(16) {
+            seen[p.shard_of(&k, n)] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "unused shard: {seen:?}");
+    }
+
+    #[test]
+    fn shards_for_range_is_a_superset() {
+        let p = RangePrefixPartitioner::with_block_bits(6);
+        let n = 8;
+        for (lo, hi) in [(0u64, 63), (10, 500), (1000, 1001), (5000, 8191)] {
+            let set = p
+                .shards_for_range(Bound::Included(&lo), Bound::Included(&hi), n)
+                .expect("narrow ranges resolve");
+            for k in lo..=hi {
+                assert!(
+                    set.contains(&p.shard_of(&k, n)),
+                    "key {k} of [{lo}, {hi}] routed outside {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_for_range_edges() {
+        let p = RangePrefixPartitioner::with_block_bits(6);
+        // Inverted: provably empty.
+        assert_eq!(
+            p.shards_for_range(Bound::Included(&100), Bound::Included(&50), 4),
+            Some(vec![])
+        );
+        // Unbounded both sides: all shards.
+        assert_eq!(
+            p.shards_for_range(Bound::Unbounded, Bound::Unbounded, 4),
+            None
+        );
+        // Wide spans give up rather than enumerate.
+        assert_eq!(
+            p.shards_for_range(Bound::Included(&0), Bound::Included(&u64::MAX), 4),
+            None
+        );
+        // Excluded bounds are treated as included (superset semantics).
+        let a = p.shards_for_range(Bound::Excluded(&100), Bound::Excluded(&200), 4);
+        let b = p.shards_for_range(Bound::Included(&100), Bound::Included(&200), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_partitioner_routes_in_range_and_deterministically() {
+        let p = HashPartitioner::new();
+        for n in [1usize, 2, 7, 8] {
+            for k in 0..1000u64 {
+                let s = Partitioner::<u64>::shard_of(&p, &k, n);
+                assert!(s < n);
+                assert_eq!(s, Partitioner::<u64>::shard_of(&p, &k, n));
+            }
+        }
+        // Strings route too (any K: Hash).
+        let s = Partitioner::<String>::shard_of(&p, &"hello".to_string(), 4);
+        assert!(s < 4);
+    }
+
+    #[test]
+    fn single_shard_always_routes_to_zero() {
+        let pp = RangePrefixPartitioner::new();
+        let hp = HashPartitioner::new();
+        for k in (0..10_000u64).step_by(97) {
+            assert_eq!(pp.shard_of(&k, 1), 0);
+            assert_eq!(Partitioner::<u64>::shard_of(&hp, &k, 1), 0);
+        }
+    }
+}

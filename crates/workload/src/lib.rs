@@ -103,7 +103,13 @@ pub trait MapSession {
 /// Typed capability declaration of a structure under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Caps {
-    /// Linearizable closed-interval range queries.
+    /// Consistent closed-interval range queries: linearizable for a
+    /// single structure, or a documented weaker-but-principled model
+    /// for composites (the sharded front-end's scans are linearizable
+    /// *per shard* and prefix-consistent across shards — see the
+    /// declaring adapter's docs). What the flag rules out is the
+    /// no-guarantee case: NB-BST's quiescent dump can tear arbitrarily
+    /// and must declare `false`.
     pub range_scan: bool,
     /// Atomic insert-or-replace.
     pub upsert: bool,

@@ -9,6 +9,10 @@
 //! * [`PnbBst`] / [`PnbBstSet`] / [`Snapshot`] — the paper's structure
 //!   (crate `pnb-bst`), plus the pinned-session [`Handle`] and lazy
 //!   [`Range`] iterator.
+//! * [`ShardedPnbBst`] / [`ShardedSnapshot`] — the sharded front-end
+//!   (crate `pnb-shard`): key-space partitioning over independent
+//!   PNB-BSTs with cross-shard consistent range queries and snapshots,
+//!   routed by a pluggable [`Partitioner`].
 //! * [`NbBst`] — the PODC 2010 substrate it extends (crate `nb-bst`).
 //! * [`RwLockTree`] / [`MutexTree`] / [`SeqBst`] — baselines (crate
 //!   `lock-bst`).
@@ -20,9 +24,20 @@
 
 #![warn(missing_docs)]
 
+// Every ```rust block in the README compiles and runs as a doctest of
+// this crate (`cargo test --doc`), so the quickstart and the
+// "Which map do I use?" snippets cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub use lock_bst::seq::SeqBst;
 pub use lock_bst::{MutexTree, RwLockTree};
 pub use nb_bst::NbBst;
 pub use pnb_bst::{Handle, PnbBst, PnbBstSet, Range, Snapshot, StatsSnapshot};
+pub use pnb_shard::{
+    HashPartitioner, MergeRange, Partitioner, RangePrefixPartitioner, ShardedPnbBst,
+    ShardedSession, ShardedSnapshot,
+};
 
 pub use workload;
