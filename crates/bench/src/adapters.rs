@@ -380,6 +380,14 @@ impl Structure {
         dispatch!(self, m => workload::run_scan_updater(m, cfg))
     }
 
+    /// [`workload::run_open_loop`] on the wrapped map.
+    pub fn run_open_loop(
+        &self,
+        cfg: &workload::OpenLoopConfig,
+    ) -> Result<workload::OpenLoopMeasurement, CapabilityError> {
+        dispatch!(self, m => workload::run_open_loop(m, cfg))
+    }
+
     /// [`workload::run_latency`] on the wrapped map.
     pub fn run_latency(
         &self,

@@ -1,5 +1,5 @@
-//! Experiment definitions E1–E8 plus the E8r collector, E9 allocator
-//! and E10 shard-scaling extensions (see
+//! Experiment definitions E1–E8 plus the E8r collector, E9 allocator,
+//! E10 shard-scaling and E11 open-loop tail-latency extensions (see
 //! DESIGN.md §4): each function runs
 //! one experiment family, renders a markdown section with the same
 //! rows/series the paper's evaluation protocol reports, and appends
@@ -14,7 +14,8 @@
 use std::time::Duration;
 
 use workload::{
-    ConcurrentMap, KeyDist, MapSession, Measurement, Mix, RunConfig, ScanUpdaterConfig,
+    ConcurrentMap, KeyDist, MapSession, Measurement, Mix, OpenLoopConfig, RunConfig,
+    ScanUpdaterConfig,
 };
 
 use crate::adapters::{self, required_caps, Structure};
@@ -783,6 +784,100 @@ pub fn e10(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out
 }
 
+/// E11 (extension) — open-loop tail latency vs offered rate: the
+/// latency-honest replacement for E8's closed-loop lens. Each cell
+/// offers a *fixed* arrival rate (a per-thread intended-start schedule;
+/// see `workload::schedule`) and records per-class latency from the
+/// intended start, so queueing delay is charged to the structure instead
+/// of silently omitted. Keys come from the scrambled-Zipfian
+/// distribution — the same skew as rank-Zipf, but with the hot keys
+/// dispersed across the key space instead of packed into block 0 (which
+/// used to melt exactly one shard of `pnb-sharded` by accident). The
+/// rows report offered vs achieved rate, so saturation is visible as a
+/// rate gap rather than quietly renormalized percentiles.
+pub fn e11(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
+    let threads = if opts.quick { 2 } else { 4 };
+    let rates: Vec<f64> = if opts.quick {
+        vec![50e3, 200e3, 800e3]
+    } else {
+        vec![100e3, 400e3, 1600e3]
+    };
+    // Insert/delete/find only: nb-bst declares neither ranges nor
+    // upserts, and the point of the table is comparing the same mix
+    // across pnb, nb, sharded and the lock baseline.
+    let mix = Mix::new(25, 25, 50, 0, 0);
+    let mut out = format!(
+        "\n### E11 — Open-loop tail latency vs offered rate (25i/25d/50f, \
+         scrambled-Zipf θ=0.99, {threads} threads, key range {kr})\n\n\
+         | structure | offered | achieved | op | samples | p50 | p99 | p999 |\n\
+         |---|---|---|---|---|---|---|---|\n"
+    );
+    let structures = [
+        Structure::Pnb(adapters::Pnb::new()),
+        Structure::PnbSharded(adapters::Sharded::new()),
+        Structure::Nb(adapters::Nb::new()),
+        Structure::Rw(adapters::Rw::new()),
+    ];
+    for s in &structures {
+        for &rate in &rates {
+            // Fresh instance per rate so a saturated run's backlog and
+            // heap do not contaminate the next cell.
+            let fresh = s.fresh();
+            let cfg = OpenLoopConfig {
+                threads,
+                target_rate: rate,
+                duration: opts.duration(),
+                key_dist: KeyDist::scrambled_zipfian(kr, 0.99),
+                mix,
+                prefill_fraction: 0.5,
+                seed: 42,
+            };
+            eprintln!("  {} / offered {:.0}k ops/s ...", fresh.name(), rate / 1e3);
+            let m = fresh
+                .run_open_loop(&cfg)
+                .expect("point-op mix runs on the whole roster");
+            for c in &m.classes {
+                log.push(
+                    "e11",
+                    &[
+                        ("structure", Val::s(&m.name)),
+                        ("threads", Val::U(threads as u64)),
+                        ("key_range", Val::U(kr)),
+                        ("offered_rate", Val::F(m.offered_rate)),
+                        ("achieved_rate", Val::F(m.achieved_rate)),
+                        ("elapsed_secs", Val::F(m.elapsed_secs)),
+                        ("op", Val::s(&c.class)),
+                        ("samples", Val::U(c.count)),
+                        ("p50_ns", Val::U(c.p50_ns)),
+                        ("p99_ns", Val::U(c.p99_ns)),
+                        ("p999_ns", Val::U(c.p999_ns)),
+                        ("max_ns", Val::U(c.max_ns)),
+                    ],
+                );
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    m.name,
+                    fmt_tput(m.offered_rate),
+                    fmt_tput(m.achieved_rate),
+                    c.class,
+                    c.count,
+                    fmt_ns(c.p50_ns),
+                    fmt_ns(c.p99_ns),
+                    fmt_ns(c.p999_ns),
+                ));
+            }
+            pnb_bst::collector_drain(64);
+            pnb_bst::arena_trim(); // heap hygiene between cells
+        }
+    }
+    out.push_str(
+        "\n*(latency measured from each operation's intended start — \
+         queueing delay included; achieved < offered marks saturation)*\n",
+    );
+    out
+}
+
 fn fmt_bytes(b: u64) -> String {
     if b >= 1 << 20 {
         format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
@@ -896,6 +991,23 @@ mod tests {
         let rendered = log.render("quick", 1);
         assert!(rendered.contains("\"experiment\": \"e10\""));
         assert!(rendered.contains("\"shards\": 8"));
+    }
+
+    #[test]
+    fn e11_reports_open_loop_rows_per_rate_and_class() {
+        let mut log = JsonLog::new();
+        let s = e11(&tiny(), &mut log);
+        for name in ["pnb-bst", "pnb-sharded", "nb-bst", "rwlock-btreemap"] {
+            assert!(s.contains(name), "{name} missing from the table");
+        }
+        // 4 structures × 3 offered rates × 3 op classes (every class of
+        // a 25/25/50 mix is sampled thousands of times per cell).
+        assert_eq!(log.len(), 36);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e11\""));
+        assert!(rendered.contains("\"offered_rate\""));
+        assert!(rendered.contains("\"achieved_rate\""));
+        assert!(rendered.contains("\"p999_ns\""));
     }
 
     #[test]

@@ -1,12 +1,30 @@
-//! Key distributions: uniform and Zipfian.
+//! Key distributions: uniform, Zipfian (rank-ordered and scrambled) and
+//! sequential.
 //!
 //! The Zipfian generator uses the rejection-inversion method of
 //! Hörmann & Derflinger ("Rejection-inversion to generate variates from
 //! monotone discrete distributions", 1996) — the same algorithm used by
 //! YCSB and `rand_distr` — so it supports large key spaces (10⁶+) without
 //! precomputing a CDF table.
+//!
+//! Rank-ordered Zipf has a measurement trap: the hottest keys are
+//! `0, 1, 2, …`, i.e. they all cluster at the bottom of the key space.
+//! Any structure that partitions by key range (the sharded front-end's
+//! `RangePrefixPartitioner` routes 4096-key blocks) then melts exactly
+//! one partition *by accident of rank labelling*, not because the
+//! workload is inherently that adversarial. [`ScrambledZipf`] keeps the
+//! Zipfian frequency *curve* but decorrelates rank from key via a
+//! splitmix64 bijection (YCSB's `ScrambledZipfianGenerator` does the
+//! same with FNV), so hot keys disperse across the whole space.
+//! [`Sequential`] covers the other end: a globally ordered append
+//! pattern (timeseries ingest), the worst case for an unbalanced BST
+//! and the best case for a range partitioner.
 
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::seed::splitmix64;
 
 /// A key distribution over `[0, n)`.
 #[derive(Clone, Debug)]
@@ -16,8 +34,16 @@ pub enum KeyDist {
         /// Key-space size.
         n: u64,
     },
-    /// Zipfian over the key space (popular keys get most traffic).
+    /// Zipfian over the key space (popular keys get most traffic; the
+    /// hottest keys are the *smallest* keys).
     Zipfian(Zipf),
+    /// Zipfian frequencies with the rank→key mapping scrambled by a
+    /// splitmix64 bijection: same skew, hot keys dispersed over the
+    /// whole key space.
+    ScrambledZipfian(ScrambledZipf),
+    /// Sequential: `0, 1, 2, … (mod n)`, globally ordered across every
+    /// clone (all workers share one cursor).
+    Sequential(Sequential),
 }
 
 impl KeyDist {
@@ -33,11 +59,27 @@ impl KeyDist {
         KeyDist::Zipfian(Zipf::new(n, theta))
     }
 
+    /// Scrambled-Zipfian distribution over `[0, n)` with exponent
+    /// `theta`: Zipfian traffic shares, hot keys spread across the key
+    /// space instead of clustering at 0.
+    pub fn scrambled_zipfian(n: u64, theta: f64) -> Self {
+        KeyDist::ScrambledZipfian(ScrambledZipf::new(n, theta))
+    }
+
+    /// Sequential distribution over `[0, n)`: one shared monotone
+    /// cursor, wrapping at `n`.
+    pub fn sequential(n: u64) -> Self {
+        assert!(n > 0);
+        KeyDist::Sequential(Sequential::new(n))
+    }
+
     /// Key-space size.
     pub fn key_space(&self) -> u64 {
         match self {
             KeyDist::Uniform { n } => *n,
             KeyDist::Zipfian(z) => z.n,
+            KeyDist::ScrambledZipfian(z) => z.zipf.n,
+            KeyDist::Sequential(s) => s.n,
         }
     }
 
@@ -47,7 +89,72 @@ impl KeyDist {
         match self {
             KeyDist::Uniform { n } => rng.gen_range(0..*n),
             KeyDist::Zipfian(z) => z.sample(rng),
+            KeyDist::ScrambledZipfian(z) => z.sample(rng),
+            KeyDist::Sequential(s) => s.next(),
         }
+    }
+}
+
+/// Zipfian frequencies with ranks scrambled across the key space.
+///
+/// A rank `r` drawn from the underlying [`Zipf`] is mapped to key
+/// `splitmix64(r) mod n`. The finalizer is a bijection on `u64`, so
+/// distinct ranks collide on a key only through the final modulo —
+/// with the same (vanishing, for n ≪ 2⁶⁴) probability as YCSB's
+/// FNV-based scrambling. Traffic shares per *rank* are exactly
+/// Zipfian; per *key* they match up to those rare collisions, with the
+/// hot ranks landing at effectively uniform positions.
+#[derive(Clone, Debug)]
+pub struct ScrambledZipf {
+    zipf: Zipf,
+}
+
+impl ScrambledZipf {
+    /// Create a sampler over `[0, n)` with exponent `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipf {
+            zipf: Zipf::new(n, theta),
+        }
+    }
+
+    /// The key that rank `r` (0 = hottest) scrambles to.
+    #[inline]
+    pub fn key_of_rank(&self, r: u64) -> u64 {
+        splitmix64(r) % self.zipf.n
+    }
+
+    /// Draw a key.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        self.key_of_rank(self.zipf.sample(rng))
+    }
+}
+
+/// A shared monotone cursor over `[0, n)`: every [`KeyDist::sample`]
+/// returns the next key in order, wrapping at `n`. Clones share the
+/// cursor (one global sequence across all worker threads), which is the
+/// point: it models ordered ingest, not per-thread stripes.
+#[derive(Clone, Debug)]
+pub struct Sequential {
+    n: u64,
+    next: Arc<AtomicU64>,
+}
+
+impl Sequential {
+    /// New cursor starting at key 0.
+    pub fn new(n: u64) -> Self {
+        Sequential {
+            n,
+            next: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Claim the next key.
+    #[inline]
+    pub fn next(&self) -> u64 {
+        // Relaxed: the counter is its own synchronization domain; only
+        // uniqueness-mod-wrap matters, not ordering against the map ops.
+        self.next.fetch_add(1, Ordering::Relaxed) % self.n
     }
 }
 
@@ -177,6 +284,94 @@ mod tests {
                 assert!(d.sample(&mut rng) < n);
             }
         }
+    }
+
+    #[test]
+    fn scrambled_zipf_matches_rank_zipf_frequency_curve() {
+        // Same n/theta: the sorted frequency curves must agree (the
+        // scramble permutes labels, it does not change shares), while
+        // the hot *keys* must stop clustering at the bottom of the
+        // space.
+        let n = 32_768u64; // 8 blocks of the sharded partitioner's 4096
+        let theta = 0.99;
+        let rank = KeyDist::zipfian(n, theta);
+        let scram = KeyDist::scrambled_zipfian(n, theta);
+        let samples = 200_000usize;
+
+        let count = |d: &KeyDist, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut c = std::collections::HashMap::<u64, u64>::new();
+            for _ in 0..samples {
+                *c.entry(d.sample(&mut rng)).or_insert(0) += 1;
+            }
+            let mut freqs: Vec<(u64, u64)> = c.into_iter().map(|(k, v)| (v, k)).collect();
+            freqs.sort_unstable_by(|a, b| b.cmp(a)); // hottest first
+            freqs
+        };
+        let rank_freqs = count(&rank, 21);
+        let scram_freqs = count(&scram, 21);
+
+        // Top-1 and top-10 traffic shares agree within a few points.
+        let share = |f: &[(u64, u64)], k: usize| {
+            f.iter().take(k).map(|(c, _)| *c).sum::<u64>() as f64 / samples as f64
+        };
+        assert!(
+            (share(&rank_freqs, 1) - share(&scram_freqs, 1)).abs() < 0.03,
+            "top-1 share diverged: {} vs {}",
+            share(&rank_freqs, 1),
+            share(&scram_freqs, 1)
+        );
+        assert!(
+            (share(&rank_freqs, 10) - share(&scram_freqs, 10)).abs() < 0.03,
+            "top-10 share diverged"
+        );
+
+        // Rank-Zipf's 8 hottest keys all live in the first 4096-key
+        // block; the scrambled hot keys must spread over several blocks.
+        let block = |k: u64| k / 4_096;
+        let rank_blocks: std::collections::HashSet<u64> =
+            rank_freqs.iter().take(8).map(|&(_, k)| block(k)).collect();
+        assert_eq!(
+            rank_blocks.len(),
+            1,
+            "rank-zipf hot keys cluster (the trap)"
+        );
+        let scram_blocks: std::collections::HashSet<u64> =
+            scram_freqs.iter().take(8).map(|&(_, k)| block(k)).collect();
+        assert!(
+            scram_blocks.len() >= 4,
+            "scrambled hot keys still clustered: blocks {scram_blocks:?}"
+        );
+    }
+
+    #[test]
+    fn scrambled_zipf_stays_in_range() {
+        let d = ScrambledZipf::new(1_000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) < 1_000);
+        }
+        // The rank→key map is deterministic.
+        assert_eq!(d.key_of_rank(0), d.key_of_rank(0));
+    }
+
+    #[test]
+    fn sequential_is_ordered_and_wraps() {
+        let d = KeyDist::sequential(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let got: Vec<u64> = (0..12).map(|_| d.sample(&mut rng)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn sequential_clones_share_the_cursor() {
+        let d = KeyDist::sequential(1_000);
+        let d2 = d.clone();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = d.sample(&mut rng);
+        let b = d2.sample(&mut rng);
+        let c = d.sample(&mut rng);
+        assert_eq!(vec![a, b, c], vec![0, 1, 2], "one global sequence");
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! *bounded individual operation time*. A lock-based map can post great
 //! averages while a scan stalls every writer behind it (and vice versa);
 //! a wait-free scan's p99 stays flat no matter what updaters do. This
-//! module provides a cheap log-bucketed histogram and a driver that
-//! records per-operation-type latency percentiles under a mixed load —
-//! the E8 extension experiment.
+//! module provides the legacy one-octave [`LatencyHistogram`] (kept as
+//! a compat surface) and a closed-loop driver that records
+//! per-operation-type latency percentiles under a mixed load — the E8
+//! extension experiment. The driver itself records into
+//! [`HdrHistogram`] (~1.6% relative error); for latency-*honest* tails
+//! under a fixed offered rate, use [`crate::run_open_loop`], which also
+//! charges queueing delay instead of silently omitting it.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -16,8 +20,11 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::dist::KeyDist;
+use crate::histogram::HdrHistogram;
 use crate::mix::{Mix, Op};
 use crate::runner::prefill;
+use crate::schedule::CLASS_LABELS;
+use crate::seed;
 use crate::{CapabilityError, ConcurrentMap, MapSession};
 
 /// Number of log₂ buckets: covers 1 ns … ~18 s.
@@ -76,8 +83,18 @@ impl LatencyHistogram {
         self.total += other.total;
     }
 
-    /// Approximate percentile in nanoseconds (upper bucket bound), or
-    /// `None` if empty. `q` in `[0, 1]`.
+    /// Approximate percentile in nanoseconds, or `None` if empty. `q`
+    /// in `[0, 1]`.
+    ///
+    /// Interpolates linearly *within* the target bucket by the rank's
+    /// position among the bucket's samples. The previous version
+    /// returned the bucket's upper bound `2^(i+1)-1` unconditionally —
+    /// an up-to-2× overestimate with these one-octave buckets, and it
+    /// made p99 and p999 collide whenever both ranks landed in the same
+    /// bucket. Interpolation keeps them distinguishable (they map to
+    /// different intra-bucket positions) at no extra recording cost.
+    /// New code should prefer [`crate::HdrHistogram`], which bounds the
+    /// error structurally instead of assuming in-bucket uniformity.
     pub fn percentile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
             return None;
@@ -85,15 +102,24 @@ impl LatencyHistogram {
         let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper bound of bucket i: 2^(i+1) - 1 ns.
-                return Some(if i >= 63 {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Bucket i spans [2^i, 2^(i+1)-1] ns (bucket 0 also
+                // holds the sub-1ns clamp).
+                let lo = if i == 0 { 1 } else { 1u64 << i };
+                let hi = if i >= 63 {
                     u64::MAX
                 } else {
                     (1u64 << (i + 1)) - 1
-                });
+                };
+                // rank is the (rank - seen)-th of the c samples here;
+                // assume they spread uniformly across the octave.
+                let frac = (rank - seen) as f64 / c as f64;
+                return Some(lo + ((hi - lo) as f64 * frac) as u64);
             }
+            seen += c;
         }
         Some(u64::MAX)
     }
@@ -135,17 +161,19 @@ pub fn run_latency<M: ConcurrentMap>(
     let stop = AtomicBool::new(false);
     let start_line = std::sync::Barrier::new(threads + 1);
 
-    // One histogram per class: ins/ups/del/find/scan.
-    let per_thread: Vec<[LatencyHistogram; 5]> = std::thread::scope(|s| {
+    // One histogram per class: ins/ups/del/find/scan. Recording runs on
+    // the HDR histogram (≤1/64 relative error) rather than the
+    // one-octave compat histogram.
+    let per_thread: Vec<[HdrHistogram; 5]> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let stop = &stop;
                 let start_line = &start_line;
                 let dist = key_dist.clone();
-                let seed = seed + 17 * (tid as u64 + 1);
+                let wseed = seed::worker_seed(seed, tid as u64);
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed);
-                    let mut hists: [LatencyHistogram; 5] = Default::default();
+                    let mut rng = SmallRng::seed_from_u64(wseed);
+                    let mut hists: [HdrHistogram; 5] = std::array::from_fn(|_| HdrHistogram::new());
                     let mut session = map.pin();
                     start_line.wait();
                     while !stop.load(Ordering::Relaxed) {
@@ -176,7 +204,7 @@ pub fn run_latency<M: ConcurrentMap>(
                                     4
                                 }
                             };
-                            hists[class].record(t0.elapsed());
+                            hists[class].record_duration(t0.elapsed());
                         }
                         // Outside the timing windows: reclamation catch-up.
                         session.refresh();
@@ -191,16 +219,15 @@ pub fn run_latency<M: ConcurrentMap>(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let mut merged: [LatencyHistogram; 5] = Default::default();
+    let mut merged: [HdrHistogram; 5] = std::array::from_fn(|_| HdrHistogram::new());
     for hs in &per_thread {
         for (m, h) in merged.iter_mut().zip(hs.iter()) {
             m.merge(h);
         }
     }
-    let labels = ["insert", "upsert", "delete", "find", "range_scan"];
     let classes = merged
         .iter()
-        .zip(labels)
+        .zip(CLASS_LABELS)
         .filter(|(h, _)| !h.is_empty())
         .map(|(h, label)| {
             let (p50, p99, p999) = h.summary();
@@ -239,6 +266,33 @@ mod tests {
             "p99 should land in the slow bucket: {p99}"
         );
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn p99_and_p999_no_longer_collide_within_one_bucket() {
+        // Regression: with upper-bound reporting, any two ranks landing
+        // in the same octave returned the identical value, so p99 ==
+        // p999 for perfectly distinguishable inputs (and both were up
+        // to 2× too high). 1000 samples spread over one octave must
+        // yield distinct, ordered percentiles.
+        let mut h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(Duration::from_nanos(1024 + i));
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        let p999 = h.percentile(0.999).unwrap();
+        assert!(p50 < p99, "p50 {p50} vs p99 {p99}");
+        assert!(p99 < p999, "p99 {p99} vs p999 {p999}");
+        // Interpolated values stay inside the bucket's octave…
+        assert!((1024..=2047).contains(&p99));
+        // …and near where the rank actually sits, instead of pinned to
+        // the 2047 upper bound.
+        assert!(
+            (1900..=2047).contains(&p999),
+            "p999 should sit high in the octave: {p999}"
+        );
+        assert!(p50 < 1600, "p50 should sit mid-octave: {p50}");
     }
 
     #[test]

@@ -16,25 +16,38 @@
 //!   configuration time instead of panicking mid-run.
 //! * [`Mix`] — an operation mix (insert/delete/find/range-query
 //!   percentages and range width).
-//! * [`KeyDist`] — uniform or Zipfian key selection over a key space.
-//! * [`run_throughput`] — the timed multi-threaded driver; returns
+//! * [`KeyDist`] — uniform, Zipfian, scrambled-Zipfian, or sequential
+//!   key selection over a key space.
+//! * [`run_throughput`] — the timed closed-loop driver; returns
 //!   per-operation counts and aggregate throughput.
+//! * [`run_open_loop`] — the open-loop, target-rate driver: arrivals on
+//!   a fixed schedule, latency recorded from each op's *intended* start
+//!   into an [`HdrHistogram`], so queueing delay is charged to the
+//!   structure instead of silently omitted (see the
+//!   [`schedule`] module docs on coordinated omission).
+//! * [`seed`] — the one splitmix64-based seed spawner every driver
+//!   derives per-thread RNG streams from.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod dist;
+pub mod histogram;
 pub mod latency;
 pub mod mix;
 pub mod runner;
+pub mod schedule;
+pub mod seed;
 
-pub use dist::{KeyDist, Zipf};
+pub use dist::{KeyDist, ScrambledZipf, Sequential, Zipf};
+pub use histogram::{HdrHistogram, ShardedHistogram};
 pub use latency::{run_latency, LatencyHistogram, LatencyReport};
 pub use mix::{Mix, Op};
 pub use runner::{
-    prefill, run_fixed_ops, run_scan_updater, run_throughput, Measurement, RunConfig,
-    ScanUpdaterConfig, ScanUpdaterMeasurement,
+    disjoint_slices, prefill, run_fixed_ops, run_scan_updater, run_throughput, Measurement,
+    RunConfig, ScanUpdaterConfig, ScanUpdaterMeasurement,
 };
+pub use schedule::{run_open_loop, OpSchedule, OpenLoopClass, OpenLoopConfig, OpenLoopMeasurement};
 
 /// The uniform map interface driven by the harness: a *guard-aware*
 /// factory of per-thread [`MapSession`]s plus a typed capability

@@ -12,6 +12,7 @@ use serde::Serialize;
 
 use crate::dist::KeyDist;
 use crate::mix::{Mix, Op};
+use crate::seed;
 use crate::{CapabilityError, ConcurrentMap, MapSession};
 
 /// Configuration for one throughput run.
@@ -29,7 +30,9 @@ pub struct RunConfig {
     /// convention: 0.5, so inserts and deletes both succeed ~half the
     /// time and the size stays stationary).
     pub prefill_fraction: f64,
-    /// Base RNG seed (worker i uses `seed + i + 1`).
+    /// Base RNG seed. Per-thread streams are derived through
+    /// [`seed::worker_seed`] (worker `i` uses stream `i`, prefill uses
+    /// [`seed::PREFILL_STREAM`]), identically across all drivers.
     pub seed: u64,
 }
 
@@ -91,7 +94,9 @@ struct Counts {
 /// random insertion order yields the expected O(log n) depth.
 pub fn prefill<M: ConcurrentMap>(map: &M, key_space: u64, fraction: f64, seed: u64) {
     use rand::seq::SliceRandom;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    // The prefill pass runs on its own reserved stream so no worker's
+    // operation stream can alias the shuffle order.
+    let mut rng = SmallRng::seed_from_u64(seed::worker_seed(seed, seed::PREFILL_STREAM));
     let mut keys: Vec<u64> = (0..key_space).collect();
     keys.shuffle(&mut rng);
     let target = (key_space as f64 * fraction).round() as usize;
@@ -119,23 +124,29 @@ pub fn run_throughput<M: ConcurrentMap>(
 
     let stop = AtomicBool::new(false);
     let start_line = std::sync::Barrier::new(cfg.threads + 1);
-    let mut elapsed = Duration::ZERO;
 
-    let totals: Vec<Counts> = std::thread::scope(|s| {
+    let totals: Vec<(Counts, Duration)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|tid| {
                 let stop = &stop;
                 let start_line = &start_line;
                 let mix = cfg.mix;
                 let dist = cfg.key_dist.clone();
-                let seed = cfg.seed + tid as u64 + 1;
+                let wseed = seed::worker_seed(cfg.seed, tid as u64);
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut rng = SmallRng::seed_from_u64(wseed);
                     let mut c = Counts::default();
                     // One pinned session for the whole run: the per-op
                     // guard churn never lands on the measured path.
                     let mut session = map.pin();
                     start_line.wait();
+                    // Each worker times its own window, barrier release
+                    // → stop observed. Timing after the joins would
+                    // also charge every worker's post-stop partial
+                    // batch and the join scheduling jitter to the
+                    // denominator, coupling reported throughput to
+                    // thread-exit order.
+                    let t0 = Instant::now();
                     while !stop.load(Ordering::Relaxed) {
                         // Batch 64 ops per stop-flag check to keep the
                         // flag off the hot path.
@@ -168,24 +179,24 @@ pub fn run_throughput<M: ConcurrentMap>(
                         // Between batches: let epoch reclamation advance.
                         session.refresh();
                     }
-                    c
+                    // Stop the clock at the moment this worker observes
+                    // the stop flag — its final partial batch runs
+                    // after, off the books on both axes.
+                    (c, t0.elapsed())
                 })
             })
             .collect();
 
         start_line.wait();
-        let t0 = Instant::now();
         std::thread::sleep(cfg.duration);
         stop.store(true, Ordering::Relaxed);
-        let res = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        elapsed = t0.elapsed();
-        res
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
     let mut m = Measurement {
         name: map.name().to_string(),
         threads: cfg.threads,
-        elapsed_secs: elapsed.as_secs_f64(),
+        elapsed_secs: 0.0,
         inserts: 0,
         upserts: 0,
         deletes: 0,
@@ -195,16 +206,24 @@ pub fn run_throughput<M: ConcurrentMap>(
         total_ops: 0,
         ops_per_sec: 0.0,
     };
-    for c in totals {
+    // Aggregate rate = Σ per-thread rates over each thread's own
+    // measured window; elapsed_secs reports the mean window (within
+    // batch granularity of the configured duration).
+    let mut rate = 0.0;
+    for (c, dt) in &totals {
+        let ops = c.inserts + c.upserts + c.deletes + c.finds + c.scans;
         m.inserts += c.inserts;
         m.upserts += c.upserts;
         m.deletes += c.deletes;
         m.finds += c.finds;
         m.scans += c.scans;
         m.scanned_keys += c.scanned_keys;
+        rate += ops as f64 / dt.as_secs_f64();
     }
     m.total_ops = m.inserts + m.upserts + m.deletes + m.finds + m.scans;
-    m.ops_per_sec = m.total_ops as f64 / m.elapsed_secs;
+    m.elapsed_secs =
+        totals.iter().map(|(_, dt)| dt.as_secs_f64()).sum::<f64>() / totals.len().max(1) as f64;
+    m.ops_per_sec = rate;
     Ok(m)
 }
 
@@ -236,9 +255,9 @@ pub fn run_fixed_ops<M: ConcurrentMap>(
             .map(|tid| {
                 let start_line = &start_line;
                 let dist = dist.clone();
-                let seed = seed + tid as u64 + 1;
+                let wseed = seed::worker_seed(seed, tid as u64);
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut rng = SmallRng::seed_from_u64(wseed);
                     let mut session = map.pin();
                     start_line.wait();
                     let mut since_refresh = 0u32;
@@ -327,6 +346,37 @@ pub struct ScanUpdaterMeasurement {
     pub scans_per_sec: f64,
 }
 
+/// Partition `[0, key_space)` into `scanners` contiguous closed
+/// intervals that are pairwise disjoint and jointly cover the whole key
+/// space: slice `i` gets `key_space / scanners` keys plus one of the
+/// `key_space % scanners` remainder keys while they last. A scanner
+/// whose slice is empty (`key_space < scanners`) gets `None`.
+///
+/// This replaces the old inline `slice = n / scanners` arithmetic,
+/// which (a) underflowed `lo + slice - 1` when `key_space < scanners`
+/// (u64 overflow panic in debug builds) and (b) assigned the last
+/// `n % scanners` keys to *no* scanner, silently violating the
+/// "disjoint slices cover the key space" contract the experiment's
+/// conclusions rest on.
+pub fn disjoint_slices(key_space: u64, scanners: usize) -> Vec<Option<(u64, u64)>> {
+    let s = scanners.max(1) as u64;
+    let base = key_space / s;
+    let rem = key_space % s;
+    let mut lo = 0u64;
+    (0..s)
+        .map(|i| {
+            let len = base + u64::from(i < rem);
+            if len == 0 {
+                None
+            } else {
+                let slice = (lo, lo + len - 1);
+                lo += len;
+                Some(slice)
+            }
+        })
+        .collect()
+}
+
 /// Run the scan/update interference experiment.
 pub fn run_scan_updater<M: ConcurrentMap>(
     map: &M,
@@ -349,10 +399,10 @@ pub fn run_scan_updater<M: ConcurrentMap>(
             .map(|tid| {
                 let stop = &stop;
                 let start_line = &start_line;
-                let seed = cfg.seed + 1000 + tid as u64;
+                let wseed = seed::worker_seed(cfg.seed, tid as u64);
                 let n = cfg.key_space;
                 s.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut rng = SmallRng::seed_from_u64(wseed);
                     let mut ops = 0u64;
                     let mut session = map.pin();
                     start_line.wait();
@@ -373,29 +423,40 @@ pub fn run_scan_updater<M: ConcurrentMap>(
             })
             .collect();
 
+        let slices = disjoint_slices(cfg.key_space, cfg.scanners);
         let scan_handles: Vec<_> = (0..cfg.scanners)
             .map(|tid| {
                 let stop = &stop;
                 let start_line = &start_line;
                 let n = cfg.key_space;
-                let scanners = cfg.scanners.max(1) as u64;
-                let disjoint = cfg.disjoint;
+                let slice = if cfg.disjoint {
+                    slices[tid]
+                } else {
+                    Some((0, n.saturating_sub(1)))
+                };
                 s.spawn(move || {
-                    let (lo, hi) = if disjoint {
-                        let slice = n / scanners;
-                        let lo = tid as u64 * slice;
-                        (lo, lo + slice - 1)
-                    } else {
-                        (0, n - 1)
-                    };
                     let mut scans = 0u64;
                     let mut keys = 0u64;
                     let mut session = map.pin();
                     start_line.wait();
-                    while !stop.load(Ordering::Relaxed) {
-                        keys += session.range_scan(&lo, &hi) as u64;
-                        scans += 1;
-                        session.refresh();
+                    match slice {
+                        Some((lo, hi)) => {
+                            while !stop.load(Ordering::Relaxed) {
+                                keys += session.range_scan(&lo, &hi) as u64;
+                                scans += 1;
+                                session.refresh();
+                            }
+                        }
+                        // More scanners than keys: this one has no
+                        // slice. Idle until stop instead of scanning
+                        // someone else's keys (which would break
+                        // disjointness) or panicking (which is what the
+                        // old underflow did).
+                        None => {
+                            while !stop.load(Ordering::Relaxed) {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
                     }
                     (scans, keys)
                 })
@@ -528,6 +589,154 @@ mod tests {
         assert!(meas.upserts > 0);
         assert_eq!(meas.inserts, 0);
         assert_eq!(meas.scans, 0);
+    }
+
+    #[test]
+    fn throughput_elapsed_tracks_configured_duration() {
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        let dur = Duration::from_millis(100);
+        let cfg = RunConfig::new(2, dur, KeyDist::uniform(1_000), Mix::read_mostly());
+        let meas = run_throughput(&m, &cfg).unwrap();
+        // Per-thread windows close when the worker *observes* stop, so
+        // the reported elapsed is the duration plus at most one batch +
+        // scheduling slack — not the old join-ordering-dependent value
+        // that also swallowed every worker's post-stop partial batch.
+        assert!(
+            meas.elapsed_secs >= dur.as_secs_f64(),
+            "window shorter than configured: {}",
+            meas.elapsed_secs
+        );
+        assert!(
+            meas.elapsed_secs <= 3.0 * dur.as_secs_f64(),
+            "window far exceeds configured duration: {}",
+            meas.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn disjoint_slices_cover_and_do_not_overlap() {
+        for (n, s) in [
+            (1_000u64, 7usize), // remainder 6: the old code dropped keys 994..=999
+            (10, 3),
+            (16, 16),
+            (5, 1),
+            (64, 2),
+        ] {
+            let slices = disjoint_slices(n, s);
+            assert_eq!(slices.len(), s);
+            let mut next = 0u64;
+            for (i, sl) in slices.iter().enumerate() {
+                let (lo, hi) = sl.unwrap_or_else(|| panic!("slice {i} empty for n={n} s={s}"));
+                assert_eq!(lo, next, "gap before slice {i} (n={n} s={s})");
+                assert!(hi >= lo);
+                next = hi + 1;
+            }
+            // Union is exactly [0, n): contiguous from 0 and ends at n-1.
+            assert_eq!(next, n, "slices do not cover the key space (n={n} s={s})");
+        }
+    }
+
+    #[test]
+    fn disjoint_slices_handle_more_scanners_than_keys() {
+        // The old arithmetic underflowed `lo + slice - 1` here.
+        let slices = disjoint_slices(2, 4);
+        assert_eq!(
+            slices,
+            vec![Some((0, 0)), Some((1, 1)), None, None],
+            "two keys, four scanners: two singleton slices, two idle"
+        );
+        assert!(disjoint_slices(0, 3).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn scan_updater_survives_key_space_smaller_than_scanners() {
+        // Regression: this configuration panicked with a u64 underflow
+        // in debug builds before slices were computed via
+        // `disjoint_slices`.
+        let m = LockedMap(Mutex::new(BTreeMap::new()));
+        let cfg = ScanUpdaterConfig {
+            updaters: 1,
+            scanners: 4,
+            duration: Duration::from_millis(40),
+            key_space: 2,
+            disjoint: true,
+            seed: 9,
+        };
+        let meas = run_scan_updater(&m, &cfg).expect("range-capable");
+        assert!(meas.scan_ops > 0, "the two non-empty slices still scan");
+    }
+
+    /// Records every (lo, hi) interval passed to `range_scan`, so a test
+    /// can check what the scanners actually asked for.
+    struct RecordingMap {
+        inner: LockedMap,
+        intervals: Mutex<std::collections::BTreeSet<(u64, u64)>>,
+    }
+    struct RecordingSession<'a> {
+        inner: LockedSession<'a>,
+        intervals: &'a Mutex<std::collections::BTreeSet<(u64, u64)>>,
+    }
+    impl MapSession for RecordingSession<'_> {
+        fn insert(&mut self, k: u64, v: u64) -> bool {
+            self.inner.insert(k, v)
+        }
+        fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+            self.inner.upsert(k, v)
+        }
+        fn delete(&mut self, k: &u64) -> bool {
+            self.inner.delete(k)
+        }
+        fn get(&mut self, k: &u64) -> Option<u64> {
+            self.inner.get(k)
+        }
+        fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
+            self.intervals.lock().unwrap().insert((*lo, *hi));
+            self.inner.range_scan(lo, hi)
+        }
+    }
+    impl ConcurrentMap for RecordingMap {
+        type Session<'a> = RecordingSession<'a>;
+        fn pin(&self) -> RecordingSession<'_> {
+            RecordingSession {
+                inner: self.inner.pin(),
+                intervals: &self.intervals,
+            }
+        }
+        fn capabilities(&self) -> Caps {
+            self.inner.capabilities()
+        }
+        fn name(&self) -> &'static str {
+            "recording-btreemap"
+        }
+    }
+
+    #[test]
+    fn scan_updater_disjoint_scans_cover_the_full_key_space() {
+        // Regression: with key_space % scanners != 0 the old slicing
+        // left the last `n % scanners` keys unscanned by anyone.
+        let m = RecordingMap {
+            inner: LockedMap(Mutex::new(BTreeMap::new())),
+            intervals: Mutex::new(std::collections::BTreeSet::new()),
+        };
+        let n = 10u64;
+        let cfg = ScanUpdaterConfig {
+            updaters: 0,
+            scanners: 3,
+            duration: Duration::from_millis(40),
+            key_space: n,
+            disjoint: true,
+            seed: 5,
+        };
+        run_scan_updater(&m, &cfg).unwrap();
+        let intervals = m.intervals.lock().unwrap();
+        // Scanners repeat their own fixed interval, so the distinct set
+        // is exactly the slice partition: disjoint and covering [0, n).
+        let mut next = 0u64;
+        for &(lo, hi) in intervals.iter() {
+            assert_eq!(lo, next, "gap or overlap at key {next}");
+            next = hi + 1;
+        }
+        assert_eq!(next, n, "keys {next}..{n} were never scanned");
     }
 
     #[test]
