@@ -20,7 +20,7 @@ use workload::{
 
 use crate::adapters::{self, required_caps, Structure};
 
-pub use crate::json::{self, JsonLog, Val};
+pub use workload::json::{self, JsonLog, Val};
 
 /// Global experiment options.
 #[derive(Clone, Copy, Debug)]
@@ -832,6 +832,7 @@ pub fn e11(opts: &ExpOpts, log: &mut JsonLog) -> String {
                 mix,
                 prefill_fraction: 0.5,
                 seed: 42,
+                interval_log: None,
             };
             eprintln!("  {} / offered {:.0}k ops/s ...", fresh.name(), rate / 1e3);
             let m = fresh
@@ -874,6 +875,131 @@ pub fn e11(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out.push_str(
         "\n*(latency measured from each operation's intended start — \
          queueing delay included; achieved < offered marks saturation)*\n",
+    );
+    out
+}
+
+/// E14 (extension) — the network round trip: open-loop tail latency vs
+/// offered rate through `pnb-server` on loopback. Same engine and
+/// schema as E11, but every operation crosses the full server stack
+/// (frame encode → TCP → worker loop → long-lived sharded session →
+/// response), so the rows price the paper's wait-free range queries as
+/// a *service*: series `pnb-sharded-net`, one point-op mix and one
+/// range mix, three offered rates each. A fresh in-process server is
+/// spawned (ephemeral port) and drained per cell so one saturated
+/// cell's backlog cannot contaminate the next. With `--features stats`
+/// the per-shard op counters also yield a load-imbalance (max/mean)
+/// figure per cell; without it that column reads `n/a`.
+pub fn e14(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    use pnb_server::{Client, NetMap, Server, ServerConfig};
+
+    let kr: u64 = if opts.quick { 8_192 } else { 65_536 };
+    let threads = if opts.quick { 2 } else { 4 };
+    let rates: Vec<f64> = if opts.quick {
+        vec![5e3, 20e3, 80e3]
+    } else {
+        vec![20e3, 80e3, 320e3]
+    };
+    let mixes: [(&str, Mix); 2] = [
+        ("point", Mix::new(25, 25, 50, 0, 0)),
+        ("range", Mix::new(20, 20, 50, 10, 100)),
+    ];
+    let mut out = format!(
+        "\n### E14 — Open-loop latency through the network server \
+         (pnb-server on loopback, scrambled-Zipf θ=0.99, {threads} client \
+         threads, key range {kr})\n\n\
+         | mix | offered | achieved | imbalance | op | samples | p50 | p99 | p999 |\n\
+         |---|---|---|---|---|---|---|---|---|\n"
+    );
+    for (mix_name, mix) in mixes {
+        for &rate in &rates {
+            // Fresh server per cell: its own map, workers and port;
+            // drained and joined before the next cell starts.
+            let server_cfg = ServerConfig {
+                shards: 8,
+                workers: threads,
+                refresh_every: 256,
+                drain_grace: Duration::from_millis(100),
+                ..Default::default()
+            };
+            let (addr, shutdown, join) = Server::bind("127.0.0.1:0", server_cfg)
+                .expect("bind loopback ephemeral port")
+                .spawn()
+                .expect("spawn in-process server");
+            let map = NetMap::connect(addr).expect("dial in-process server");
+            let cfg = OpenLoopConfig {
+                threads,
+                target_rate: rate,
+                duration: opts.duration(),
+                key_dist: KeyDist::scrambled_zipfian(kr, 0.99),
+                mix,
+                prefill_fraction: 0.5,
+                seed: 42,
+                interval_log: None,
+            };
+            eprintln!("  {mix_name} mix / offered {:.0}k ops/s ...", rate / 1e3);
+            let m = workload::run_open_loop(&map, &cfg).expect("NetMap declares every capability");
+
+            // Per-shard load spread, served by the Stats opcode (zeros
+            // without the stats build).
+            let shard_ops = Client::connect(addr)
+                .and_then(|mut c| c.stats().map_err(|_| std::io::ErrorKind::Other.into()))
+                .map(|s| s.shard_ops)
+                .unwrap_or_default();
+            let total: u64 = shard_ops.iter().sum();
+            let imbalance = if total == 0 {
+                None
+            } else {
+                let max = *shard_ops.iter().max().expect("non-empty") as f64;
+                Some(max / (total as f64 / shard_ops.len() as f64))
+            };
+            let imb_label = imbalance.map_or("n/a".to_string(), |x| format!("{x:.2}"));
+
+            drop(map);
+            shutdown.signal();
+            join.join()
+                .expect("server thread joins")
+                .expect("server drains cleanly");
+
+            for c in &m.classes {
+                log.push(
+                    "e14",
+                    &[
+                        ("structure", Val::s(&m.name)),
+                        ("mix", Val::s(mix_name)),
+                        ("threads", Val::U(threads as u64)),
+                        ("key_range", Val::U(kr)),
+                        ("offered_rate", Val::F(m.offered_rate)),
+                        ("achieved_rate", Val::F(m.achieved_rate)),
+                        ("elapsed_secs", Val::F(m.elapsed_secs)),
+                        ("load_imbalance", Val::F(imbalance.unwrap_or(0.0))),
+                        ("op", Val::s(&c.class)),
+                        ("samples", Val::U(c.count)),
+                        ("p50_ns", Val::U(c.p50_ns)),
+                        ("p99_ns", Val::U(c.p99_ns)),
+                        ("p999_ns", Val::U(c.p999_ns)),
+                        ("max_ns", Val::U(c.max_ns)),
+                    ],
+                );
+                out.push_str(&format!(
+                    "| {mix_name} | {} | {} | {imb_label} | {} | {} | {} | {} | {} |\n",
+                    fmt_tput(m.offered_rate),
+                    fmt_tput(m.achieved_rate),
+                    c.class,
+                    c.count,
+                    fmt_ns(c.p50_ns),
+                    fmt_ns(c.p99_ns),
+                    fmt_ns(c.p999_ns),
+                ));
+            }
+            pnb_bst::collector_drain(64);
+            pnb_bst::arena_trim(); // heap hygiene between cells
+        }
+    }
+    out.push_str(
+        "\n*(every operation crosses loopback TCP and the server's worker \
+         loop; imbalance is max/mean of per-shard op counts — `n/a` without \
+         `--features stats`)*\n",
     );
     out
 }

@@ -18,4 +18,8 @@
 
 pub mod adapters;
 pub mod experiments;
-pub mod json;
+// Kept as a re-export so `pnbbst_bench::json::JsonLog` paths stay valid:
+// the emitter itself moved to `workload::json` so the `pnb-load` network
+// driver can write the same trajectory schema without depending on the
+// bench crate.
+pub use workload::json;

@@ -1,0 +1,213 @@
+//! `pnb-load` — open-loop load driver for a running `pnb-server`.
+//!
+//! ```text
+//! pnb-load --addr HOST:PORT [--threads 2] [--rate 10000]
+//!          [--duration-ms 2000] [--keys 65536]
+//!          [--dist scrambled-zipf|zipf|uniform] [--theta 0.99]
+//!          [--mix point|range|update] [--prefill 0.5] [--seed 42]
+//!          [--json PATH] [--interval-log PATH]
+//! ```
+//!
+//! Reuses `workload::run_open_loop` over the [`pnb_server::NetMap`]
+//! adapter: arrivals on a fixed schedule, latency measured from each
+//! operation's *intended* start (coordinated-omission-free), per-class
+//! HDR histograms. Emits a human summary on stdout; `--json` writes
+//! rows in the same schema as experiments e11/e14 (`offered_rate`,
+//! `achieved_rate`, `p50_ns`, `p99_ns`, `p999_ns`, …); `--interval-log`
+//! appends per-interval `{"t_secs", "achieved_rate", "p99_ns"}` JSONL
+//! rows so saturation collapses are visible in time, not averaged away.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pnb_server::NetMap;
+use workload::json::{JsonLog, Val};
+use workload::{run_open_loop, IntervalLogConfig, KeyDist, Mix, OpenLoopConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pnb-load --addr HOST:PORT [--threads N] [--rate OPS_PER_SEC] \
+         [--duration-ms MS] [--keys N] [--dist scrambled-zipf|zipf|uniform] \
+         [--theta F] [--mix point|range|update] [--prefill F] [--seed N] \
+         [--json PATH] [--interval-log PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    addr: String,
+    threads: usize,
+    rate: f64,
+    duration: Duration,
+    keys: u64,
+    dist: String,
+    theta: f64,
+    mix: String,
+    prefill: f64,
+    seed: u64,
+    json: Option<String>,
+    interval_log: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: String::new(),
+            threads: 2,
+            rate: 10_000.0,
+            duration: Duration::from_millis(2_000),
+            keys: 65_536,
+            dist: "scrambled-zipf".into(),
+            theta: 0.99,
+            mix: "point".into(),
+            prefill: 0.5,
+            seed: 42,
+            json: None,
+            interval_log: None,
+        }
+    }
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => o.addr = take("--addr"),
+            "--threads" => o.threads = parse(&take("--threads"), "--threads"),
+            "--rate" => o.rate = parse(&take("--rate"), "--rate"),
+            "--duration-ms" => {
+                o.duration = Duration::from_millis(parse(&take("--duration-ms"), "--duration-ms"))
+            }
+            "--keys" => o.keys = parse(&take("--keys"), "--keys"),
+            "--dist" => o.dist = take("--dist"),
+            "--theta" => o.theta = parse(&take("--theta"), "--theta"),
+            "--mix" => o.mix = take("--mix"),
+            "--prefill" => o.prefill = parse(&take("--prefill"), "--prefill"),
+            "--seed" => o.seed = parse(&take("--seed"), "--seed"),
+            "--json" => o.json = Some(take("--json")),
+            "--interval-log" => o.interval_log = Some(take("--interval-log")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if o.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage();
+    }
+    o
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {name} value: {s}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let key_dist = match o.dist.as_str() {
+        "uniform" => KeyDist::uniform(o.keys),
+        "zipf" => KeyDist::zipfian(o.keys, o.theta),
+        "scrambled-zipf" => KeyDist::scrambled_zipfian(o.keys, o.theta),
+        other => {
+            eprintln!("unknown --dist {other} (uniform|zipf|scrambled-zipf)");
+            usage();
+        }
+    };
+    // The same shapes e14 sweeps: point = 25i/25u(del)/50f, range adds
+    // 10% width-100 scans, update is insert/delete only.
+    let mix = match o.mix.as_str() {
+        "point" => Mix::new(25, 25, 50, 0, 0),
+        "range" => Mix::new(20, 20, 50, 10, 100),
+        "update" => Mix::new(50, 50, 0, 0, 0),
+        other => {
+            eprintln!("unknown --mix {other} (point|range|update)");
+            usage();
+        }
+    };
+
+    let map = match NetMap::connect(o.addr.as_str()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("pnb-load: cannot reach {}: {e}", o.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = OpenLoopConfig {
+        threads: o.threads,
+        target_rate: o.rate,
+        duration: o.duration,
+        key_dist,
+        mix,
+        prefill_fraction: o.prefill,
+        seed: o.seed,
+        interval_log: o.interval_log.as_ref().map(IntervalLogConfig::new),
+    };
+    eprintln!(
+        "pnb-load: {} threads offering {:.0} ops/s of `{}` at {} for {:?}",
+        o.threads, o.rate, o.mix, o.addr, o.duration
+    );
+    let m = match run_open_loop(&map, &cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("pnb-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: offered {:.0} ops/s, achieved {:.0} ops/s over {:.2}s ({} ops)",
+        m.name, m.offered_rate, m.achieved_rate, m.elapsed_secs, m.total_ops
+    );
+    println!("| op | samples | p50_ns | p99_ns | p999_ns | max_ns |");
+    println!("|---|---|---|---|---|---|");
+    let mut log = JsonLog::new();
+    for c in &m.classes {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            c.class, c.count, c.p50_ns, c.p99_ns, c.p999_ns, c.max_ns
+        );
+        log.push(
+            "pnb-load",
+            &[
+                ("structure", Val::s(&m.name)),
+                ("threads", Val::U(m.threads as u64)),
+                ("key_range", Val::U(o.keys)),
+                ("mix", Val::s(&o.mix)),
+                ("offered_rate", Val::F(m.offered_rate)),
+                ("achieved_rate", Val::F(m.achieved_rate)),
+                ("elapsed_secs", Val::F(m.elapsed_secs)),
+                ("op", Val::s(&c.class)),
+                ("samples", Val::U(c.count)),
+                ("p50_ns", Val::U(c.p50_ns)),
+                ("p99_ns", Val::U(c.p99_ns)),
+                ("p999_ns", Val::U(c.p999_ns)),
+                ("max_ns", Val::U(c.max_ns)),
+            ],
+        );
+    }
+    if let Some(path) = &o.json {
+        let threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+        if let Err(e) = std::fs::write(path, log.render("pnb-load", threads)) {
+            eprintln!("pnb-load: cannot write --json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("pnb-load: wrote {} rows to {path}", log.len());
+    }
+    if let Some(path) = &o.interval_log {
+        eprintln!("pnb-load: interval rows appended to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,142 @@
+//! `pnb-server` — serve a sharded PNB-BST over TCP.
+//!
+//! ```text
+//! pnb-server [--addr 127.0.0.1:7878] [--shards 8] [--workers 0]
+//!            [--refresh-every 256] [--addr-file PATH]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes
+//! the actual bound address to a file so scripts (CI's server-smoke
+//! step) can discover it. SIGINT/SIGTERM trigger a graceful drain:
+//! in-flight and already-pipelined requests are answered, connections
+//! flushed and closed, sessions dropped, and the process exits 0.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pnb_server::{Server, ServerConfig};
+
+/// Set from the signal handler; polled by main. Relaxed is enough: the
+/// flag is the only thing communicated.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from the platform libc — declared directly so the
+    /// offline workspace needs no `libc` crate. `sighandler_t` is a
+    /// plain function pointer, passed as `usize`.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` is async-signal-safe (one relaxed atomic
+    // store) and has the C signature `signal` expects.
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pnb-server [--addr HOST:PORT] [--shards N] [--workers N] \
+         [--refresh-every N] [--addr-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut cfg = ServerConfig::default();
+    let mut addr_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().unwrap_or_else(|| usage_missing(name));
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--shards" => cfg.shards = parse(&take("--shards"), "--shards"),
+            "--workers" => cfg.workers = parse(&take("--workers"), "--workers"),
+            "--refresh-every" => {
+                cfg.refresh_every = parse(&take("--refresh-every"), "--refresh-every")
+            }
+            "--addr-file" => addr_file = Some(take("--addr-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pnb-server: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr().expect("bound listener has an address");
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, bound.to_string()) {
+            eprintln!("pnb-server: cannot write --addr-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "pnb-server listening on {bound} ({} shards, {} workers)",
+        cfg.shards,
+        if cfg.workers == 0 {
+            "auto".to_string()
+        } else {
+            cfg.workers.to_string()
+        }
+    );
+
+    install_signal_handlers();
+    let (_, shutdown, join) = match server.spawn() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pnb-server: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    while !SHUTDOWN.load(Ordering::Relaxed) && !join.is_finished() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    shutdown.signal();
+    match join.join() {
+        Ok(Ok(())) => {
+            println!("pnb-server: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Ok(Err(e)) => {
+            eprintln!("pnb-server: listener error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(_) => {
+            eprintln!("pnb-server: server thread panicked");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_missing(name: &str) -> ! {
+    eprintln!("{name} needs a value");
+    usage();
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {name} value: {s}");
+        usage();
+    })
+}

@@ -1,0 +1,356 @@
+//! Client side: a blocking [`Client`] for one connection, and
+//! [`NetMap`] — a [`ConcurrentMap`] adapter over a connection pool so
+//! the `workload` drivers (and `pnb-load`) can drive a remote server
+//! exactly like an in-process map.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use workload::{Caps, ConcurrentMap, MapSession};
+
+use crate::codec::{decode_response, encode_request, DecodeError, FrameBuf};
+use crate::proto::{ReqBody, Request, RespBody, StatusCode};
+
+/// Default per-call read timeout: distinguishes a hung server from a
+/// slow one without wedging a load generator forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The server's bytes did not decode as a protocol response.
+    Protocol(DecodeError),
+    /// The server answered with a typed error frame.
+    Remote(StatusCode, String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote(code, msg) => write!(f, "server error ({code}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a `pnb-server`: send a request, read its
+/// response. Requests may be pipelined with
+/// [`send`](Client::send)/[`recv`](Client::recv); [`call`] is the
+/// send-then-wait convenience every simple caller wants.
+///
+/// [`call`]: Client::call
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameBuf,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect (blocking) with `TCP_NODELAY` and a read timeout of
+    /// a 30 s read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(Client {
+            stream,
+            frames: FrameBuf::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Send `body` without waiting; returns the request id. Responses
+    /// come back in request order — pair with [`recv`](Client::recv).
+    pub fn send(&mut self, body: ReqBody) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let bytes = encode_request(&Request { id, body });
+        self.stream.write_all(&bytes)?;
+        Ok(id)
+    }
+
+    /// Read the next response frame (blocking, honours the read
+    /// timeout). Typed error frames become [`ClientError::Remote`].
+    pub fn recv(&mut self) -> Result<(u64, RespBody), ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.frames.next_frame().map_err(ClientError::Protocol)? {
+                let resp = decode_response(&frame).map_err(ClientError::Protocol)?;
+                return match resp.body {
+                    RespBody::Error(code, msg) => Err(ClientError::Remote(code, msg)),
+                    body => Ok((resp.id, body)),
+                };
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.frames.feed(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Send `body` and wait for its response.
+    pub fn call(&mut self, body: ReqBody) -> Result<RespBody, ClientError> {
+        let id = self.send(body)?;
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(ClientError::Protocol(DecodeError {
+                id: Some(got),
+                code: StatusCode::Internal,
+                msg: format!("response id {got} does not match request id {id}"),
+            }));
+        }
+        Ok(resp)
+    }
+
+    fn expect_bool(&mut self, body: ReqBody) -> Result<bool, ClientError> {
+        match self.call(body)? {
+            RespBody::Bool(b) => Ok(b),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn expect_value(&mut self, body: ReqBody) -> Result<Option<u64>, ClientError> {
+        match self.call(body)? {
+            RespBody::Value(v) | RespBody::Displaced(v) => Ok(v),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(ReqBody::Ping)? {
+            RespBody::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, ClientError> {
+        self.expect_value(ReqBody::Get { key })
+    }
+
+    /// Membership test.
+    pub fn contains(&mut self, key: u64) -> Result<bool, ClientError> {
+        self.expect_bool(ReqBody::Contains { key })
+    }
+
+    /// Set-semantics insert; `true` iff the key was absent.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<bool, ClientError> {
+        self.expect_bool(ReqBody::Insert { key, value })
+    }
+
+    /// Insert-or-replace; returns the displaced value.
+    pub fn upsert(&mut self, key: u64, value: u64) -> Result<Option<u64>, ClientError> {
+        self.expect_value(ReqBody::Upsert { key, value })
+    }
+
+    /// Remove; `true` iff the key was present.
+    pub fn delete(&mut self, key: u64) -> Result<bool, ClientError> {
+        self.expect_bool(ReqBody::Delete { key })
+    }
+
+    /// Count keys in `[lo, hi]` on the live map (COUNT_ONLY wire shape:
+    /// the server traverses, only the count crosses the network).
+    pub fn range_count(&mut self, lo: u64, hi: u64) -> Result<u64, ClientError> {
+        match self.call(ReqBody::Range {
+            lo,
+            hi,
+            count_only: true,
+        })? {
+            RespBody::Entries { count, .. } => Ok(count),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the entries in `[lo, hi]` from the live map. The second
+    /// field is the *full* match count; when it exceeds
+    /// `entries.len()`, the list was truncated at the server's cap.
+    pub fn range_entries(
+        &mut self,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(Vec<(u64, u64)>, u64), ClientError> {
+        match self.call(ReqBody::Range {
+            lo,
+            hi,
+            count_only: false,
+        })? {
+            RespBody::Entries { count, entries, .. } => Ok((entries, count)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the entries in `[lo, hi]` from a fresh cross-shard
+    /// snapshot (one consistent cut taken server-side).
+    pub fn snapshot_entries(
+        &mut self,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(Vec<(u64, u64)>, u64), ClientError> {
+        match self.call(ReqBody::SnapshotScan {
+            lo,
+            hi,
+            count_only: false,
+        })? {
+            RespBody::Entries { count, entries, .. } => Ok((entries, count)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Server counters plus per-shard operation totals.
+    pub fn stats(&mut self) -> Result<crate::proto::ServerStatsWire, ClientError> {
+        match self.call(ReqBody::Stats)? {
+            RespBody::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(body: &RespBody) -> ClientError {
+    ClientError::Protocol(DecodeError {
+        id: None,
+        code: StatusCode::Internal,
+        msg: format!("unexpected response body {body:?}"),
+    })
+}
+
+/// A [`ConcurrentMap`] whose operations travel over the wire: each
+/// session owns one pooled [`Client`] connection, so the open-loop
+/// driver measures request→response round trips through the real
+/// server stack (framing, worker loop, sharded session, and back).
+///
+/// Sessions check connections back into the pool on drop, so repeated
+/// pin/drop cycles (as the drivers do between batches) reuse sockets
+/// instead of re-dialing.
+///
+/// # Panics
+///
+/// [`pin`](ConcurrentMap::pin) and the session operations panic on
+/// transport errors: the `MapSession` interface has no error channel,
+/// and a load generator that silently drops failed operations would
+/// fabricate latency data — failing loudly is the honest option.
+#[derive(Debug)]
+pub struct NetMap {
+    addr: SocketAddr,
+    pool: Mutex<Vec<Client>>,
+}
+
+impl NetMap {
+    /// Resolve `addr` and validate it with one ping; the validated
+    /// connection seeds the pool.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut probe = Client::connect(addr)?;
+        probe.ping()?;
+        Ok(NetMap {
+            addr,
+            pool: Mutex::new(vec![probe]),
+        })
+    }
+
+    /// The resolved server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn checkout(&self) -> Client {
+        if let Some(c) = self.pool.lock().expect("pool lock").pop() {
+            return c;
+        }
+        Client::connect(self.addr).expect("dial pnb-server")
+    }
+}
+
+impl ConcurrentMap for NetMap {
+    type Session<'a> = NetSession<'a>;
+
+    fn pin(&self) -> NetSession<'_> {
+        NetSession {
+            map: self,
+            client: Some(self.checkout()),
+        }
+    }
+
+    fn capabilities(&self) -> Caps {
+        Caps::all()
+    }
+
+    fn name(&self) -> &'static str {
+        "pnb-sharded-net"
+    }
+}
+
+/// One worker's connection to the server (see [`NetMap`]).
+#[derive(Debug)]
+pub struct NetSession<'a> {
+    map: &'a NetMap,
+    /// `Some` for the session's whole life; taken only by `Drop`.
+    client: Option<Client>,
+}
+
+impl NetSession<'_> {
+    fn client(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}
+
+impl MapSession for NetSession<'_> {
+    fn insert(&mut self, k: u64, v: u64) -> bool {
+        self.client().insert(k, v).expect("insert over the wire")
+    }
+
+    fn upsert(&mut self, k: u64, v: u64) -> Option<u64> {
+        self.client().upsert(k, v).expect("upsert over the wire")
+    }
+
+    fn delete(&mut self, k: &u64) -> bool {
+        self.client().delete(*k).expect("delete over the wire")
+    }
+
+    fn get(&mut self, k: &u64) -> Option<u64> {
+        self.client().get(*k).expect("get over the wire")
+    }
+
+    fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
+        self.client()
+            .range_count(*lo, *hi)
+            .expect("range over the wire") as usize
+    }
+
+    /// No-op: the *server's* workers refresh their epoch-pinned
+    /// sessions on their own cadence; the client holds no epochs, so
+    /// there is nothing to re-pin on this side of the wire.
+    fn refresh(&mut self) {}
+}
+
+impl Drop for NetSession<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.client.take() {
+            self.map.pool.lock().expect("pool lock").push(c);
+        }
+    }
+}

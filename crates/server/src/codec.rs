@@ -1,0 +1,648 @@
+//! Encoding and incremental decoding of protocol frames.
+//!
+//! Split in two layers so the connection loop can be byte-stream
+//! agnostic:
+//!
+//! * [`FrameBuf`] — an incremental reassembly buffer: feed it whatever
+//!   the socket produced, pull complete [`Frame`]s out. Framing errors
+//!   (bad magic, oversized length) surface here, *before* any payload
+//!   is buffered, so a hostile length field cannot balloon memory.
+//! * [`decode_request`] / [`decode_response`] — map a raw frame to the
+//!   typed [`Request`]/[`Response`], validating version, opcode and
+//!   payload shape.
+//!
+//! Every decode failure is a [`DecodeError`] carrying the
+//! [`StatusCode`] to answer with and, when the header was readable, the
+//! request id to echo — the connection layer turns it into a typed
+//! error frame and (for framing errors) closes that one connection.
+
+use crate::proto::{
+    flags, Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire, StatusCode, HEADER_LEN,
+    MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+
+/// A reassembled raw frame: header fields plus the payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Version byte (validated by the decode layer, not here).
+    pub version: u8,
+    /// Opcode byte (ditto).
+    pub opcode: u8,
+    /// Status byte (0 in requests).
+    pub status: u8,
+    /// Flag bits.
+    pub flags: u8,
+    /// Correlation id.
+    pub id: u64,
+    /// Payload bytes (`len <= max_payload`, enforced before buffering).
+    pub payload: Vec<u8>,
+}
+
+/// A decode failure: the status to answer with, the id to echo (when
+/// the header was readable), and a diagnostic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Request id to echo; `None` when the header itself was garbage
+    /// (bad magic), in which case the error frame carries id 0 and the
+    /// connection is closed.
+    pub id: Option<u64>,
+    /// The status code for the error frame.
+    pub code: StatusCode,
+    /// Human-readable diagnostic (the error frame's payload).
+    pub msg: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// `feed` appends bytes; `next_frame` yields complete frames (or a
+/// framing [`DecodeError`] that poisons the stream — after an error the
+/// caller must discard the connection, since resynchronizing an
+/// unframed byte stream is guesswork).
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix; compacted periodically instead of per-frame.
+    start: usize,
+    max_payload: usize,
+}
+
+impl FrameBuf {
+    /// A buffer enforcing the protocol-wide [`MAX_PAYLOAD`].
+    pub fn new() -> Self {
+        Self::with_max_payload(MAX_PAYLOAD)
+    }
+
+    /// A buffer with a custom payload ceiling (servers may configure a
+    /// tighter one).
+    pub fn with_max_payload(max_payload: usize) -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            max_payload,
+        }
+    }
+
+    /// Append bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact once the consumed prefix dominates, so long-lived
+        // connections don't grow the buffer without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pull the next complete frame, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "need more bytes". `Err` means the stream is
+    /// unframeable (bad magic) or hostile (oversized length) — the
+    /// caller answers with the error and drops the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let avail = &self.buf[self.start..];
+        // Magic is checked as soon as any of it has arrived: a stream
+        // that is not speaking this protocol gets refused immediately
+        // instead of being waited on for a full header that will never
+        // come.
+        let probe = avail.len().min(4);
+        if avail[..probe] != MAGIC[..probe] {
+            return Err(DecodeError {
+                id: None,
+                code: StatusCode::BadMagic,
+                msg: format!("expected magic {MAGIC:?}, got {:?}", &avail[..probe]),
+            });
+        }
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let id = u64::from_le_bytes(avail[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(avail[16..20].try_into().expect("4 bytes")) as usize;
+        if len > self.max_payload {
+            return Err(DecodeError {
+                id: Some(id),
+                code: StatusCode::Oversized,
+                msg: format!("payload length {len} exceeds cap {}", self.max_payload),
+            });
+        }
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let frame = Frame {
+            version: avail[4],
+            opcode: avail[5],
+            status: avail[6],
+            flags: avail[7],
+            id,
+            payload: avail[HEADER_LEN..HEADER_LEN + len].to_vec(),
+        };
+        self.start += HEADER_LEN + len;
+        Ok(Some(frame))
+    }
+}
+
+impl Default for FrameBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, opcode: u8, status: u8, fl: u8, id: u64, payload_len: usize) {
+    debug_assert!(payload_len <= u32::MAX as usize);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(opcode);
+    out.push(status);
+    out.push(fl);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Encode a request into a ready-to-send frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let mut fl = 0u8;
+    match &req.body {
+        ReqBody::Ping | ReqBody::Stats => {}
+        ReqBody::Get { key } | ReqBody::Contains { key } | ReqBody::Delete { key } => {
+            payload.extend_from_slice(&key.to_le_bytes());
+        }
+        ReqBody::Insert { key, value } | ReqBody::Upsert { key, value } => {
+            payload.extend_from_slice(&key.to_le_bytes());
+            payload.extend_from_slice(&value.to_le_bytes());
+        }
+        ReqBody::Range { lo, hi, count_only } | ReqBody::SnapshotScan { lo, hi, count_only } => {
+            payload.extend_from_slice(&lo.to_le_bytes());
+            payload.extend_from_slice(&hi.to_le_bytes());
+            if *count_only {
+                fl |= flags::COUNT_ONLY;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_header(
+        &mut out,
+        req.body.opcode() as u8,
+        StatusCode::Ok as u8,
+        fl,
+        req.id,
+        payload.len(),
+    );
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode a response frame. `opcode` echoes the request's opcode so the
+/// client can parse the body shape (error frames conventionally echo
+/// it too; for unparseable requests use `Opcode::Ping`).
+pub fn encode_response(opcode: Opcode, resp: &Response) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let mut status = StatusCode::Ok;
+    let mut fl = 0u8;
+    match &resp.body {
+        RespBody::Pong => {}
+        RespBody::Value(v) | RespBody::Displaced(v) => {
+            payload.push(u8::from(v.is_some()));
+            payload.extend_from_slice(&v.unwrap_or(0).to_le_bytes());
+        }
+        RespBody::Bool(b) => payload.push(u8::from(*b)),
+        RespBody::Entries {
+            count,
+            entries,
+            truncated,
+        } => {
+            payload.extend_from_slice(&count.to_le_bytes());
+            for (k, v) in entries {
+                payload.extend_from_slice(&k.to_le_bytes());
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            if *truncated {
+                fl |= flags::TRUNCATED;
+            }
+        }
+        RespBody::Stats(s) => {
+            payload.extend_from_slice(&s.accepted.to_le_bytes());
+            payload.extend_from_slice(&s.closed.to_le_bytes());
+            payload.extend_from_slice(&s.requests.to_le_bytes());
+            payload.extend_from_slice(&s.protocol_errors.to_le_bytes());
+            payload.extend_from_slice(&(s.shard_ops.len() as u64).to_le_bytes());
+            for ops in &s.shard_ops {
+                payload.extend_from_slice(&ops.to_le_bytes());
+            }
+        }
+        RespBody::Error(code, msg) => {
+            status = *code;
+            payload.extend_from_slice(msg.as_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_header(
+        &mut out,
+        opcode as u8,
+        status as u8,
+        fl,
+        resp.id,
+        payload.len(),
+    );
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encode the error frame for a [`DecodeError`] (id 0 when the header
+/// was unreadable).
+pub fn encode_decode_error(err: &DecodeError) -> Vec<u8> {
+    encode_response(
+        Opcode::Ping,
+        &Response {
+            id: err.id.unwrap_or(0),
+            body: RespBody::Error(err.code, err.msg.clone()),
+        },
+    )
+}
+
+fn bad_payload(id: u64, want: &str, got: usize) -> DecodeError {
+    DecodeError {
+        id: Some(id),
+        code: StatusCode::BadPayload,
+        msg: format!("expected {want}, got {got} bytes"),
+    }
+}
+
+fn u64_at(payload: &[u8], idx: usize) -> u64 {
+    u64::from_le_bytes(payload[idx * 8..idx * 8 + 8].try_into().expect("8 bytes"))
+}
+
+/// Validate and type a raw frame as a request (server side).
+pub fn decode_request(frame: &Frame) -> Result<Request, DecodeError> {
+    let id = frame.id;
+    if frame.version != PROTOCOL_VERSION {
+        return Err(DecodeError {
+            id: Some(id),
+            code: StatusCode::BadVersion,
+            msg: format!(
+                "protocol version {} not supported (this server speaks {PROTOCOL_VERSION})",
+                frame.version
+            ),
+        });
+    }
+    let opcode = Opcode::from_u8(frame.opcode).ok_or_else(|| DecodeError {
+        id: Some(id),
+        code: StatusCode::BadOpcode,
+        msg: format!("unknown opcode {:#04x}", frame.opcode),
+    })?;
+    let p = &frame.payload;
+    let count_only = frame.flags & flags::COUNT_ONLY != 0;
+    let body = match opcode {
+        Opcode::Ping | Opcode::Stats => {
+            if !p.is_empty() {
+                return Err(bad_payload(id, "empty payload", p.len()));
+            }
+            if opcode == Opcode::Ping {
+                ReqBody::Ping
+            } else {
+                ReqBody::Stats
+            }
+        }
+        Opcode::Get | Opcode::Contains | Opcode::Delete => {
+            if p.len() != 8 {
+                return Err(bad_payload(id, "8-byte key", p.len()));
+            }
+            let key = u64_at(p, 0);
+            match opcode {
+                Opcode::Get => ReqBody::Get { key },
+                Opcode::Contains => ReqBody::Contains { key },
+                _ => ReqBody::Delete { key },
+            }
+        }
+        Opcode::Insert | Opcode::Upsert => {
+            if p.len() != 16 {
+                return Err(bad_payload(id, "16-byte key+value", p.len()));
+            }
+            let (key, value) = (u64_at(p, 0), u64_at(p, 1));
+            if opcode == Opcode::Insert {
+                ReqBody::Insert { key, value }
+            } else {
+                ReqBody::Upsert { key, value }
+            }
+        }
+        Opcode::Range | Opcode::SnapshotScan => {
+            if p.len() != 16 {
+                return Err(bad_payload(id, "16-byte lo+hi", p.len()));
+            }
+            let (lo, hi) = (u64_at(p, 0), u64_at(p, 1));
+            if opcode == Opcode::Range {
+                ReqBody::Range { lo, hi, count_only }
+            } else {
+                ReqBody::SnapshotScan { lo, hi, count_only }
+            }
+        }
+    };
+    Ok(Request { id, body })
+}
+
+/// Validate and type a raw frame as a response (client side). The
+/// body shape is keyed by the echoed opcode; error statuses decode to
+/// [`RespBody::Error`].
+pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
+    let id = frame.id;
+    let status = StatusCode::from_u8(frame.status).ok_or_else(|| DecodeError {
+        id: Some(id),
+        code: StatusCode::BadPayload,
+        msg: format!("unknown status byte {}", frame.status),
+    })?;
+    if status != StatusCode::Ok {
+        let msg = String::from_utf8_lossy(&frame.payload).into_owned();
+        return Ok(Response {
+            id,
+            body: RespBody::Error(status, msg),
+        });
+    }
+    let opcode = Opcode::from_u8(frame.opcode).ok_or_else(|| DecodeError {
+        id: Some(id),
+        code: StatusCode::BadOpcode,
+        msg: format!("unknown opcode {:#04x} in response", frame.opcode),
+    })?;
+    let p = &frame.payload;
+    let body = match opcode {
+        Opcode::Ping => {
+            if !p.is_empty() {
+                return Err(bad_payload(id, "empty pong", p.len()));
+            }
+            RespBody::Pong
+        }
+        Opcode::Get | Opcode::Upsert => {
+            if p.len() != 9 {
+                return Err(bad_payload(id, "present-byte + 8-byte value", p.len()));
+            }
+            let v = (p[0] != 0).then(|| u64::from_le_bytes(p[1..9].try_into().expect("8 bytes")));
+            if opcode == Opcode::Get {
+                RespBody::Value(v)
+            } else {
+                RespBody::Displaced(v)
+            }
+        }
+        Opcode::Contains | Opcode::Insert | Opcode::Delete => {
+            if p.len() != 1 {
+                return Err(bad_payload(id, "1-byte bool", p.len()));
+            }
+            RespBody::Bool(p[0] != 0)
+        }
+        Opcode::Range | Opcode::SnapshotScan => {
+            if p.len() < 8 || !(p.len() - 8).is_multiple_of(16) {
+                return Err(bad_payload(id, "count + (k,v) pairs", p.len()));
+            }
+            let count = u64_at(p, 0);
+            let entries = p[8..]
+                .chunks_exact(16)
+                .map(|c| {
+                    (
+                        u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+                        u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
+                    )
+                })
+                .collect();
+            RespBody::Entries {
+                count,
+                entries,
+                truncated: frame.flags & flags::TRUNCATED != 0,
+            }
+        }
+        Opcode::Stats => {
+            if p.len() < 40 {
+                return Err(bad_payload(id, ">=40-byte stats block", p.len()));
+            }
+            let shards = u64_at(p, 4) as usize;
+            if p.len() != 40 + shards * 8 {
+                return Err(bad_payload(id, "stats block with shard totals", p.len()));
+            }
+            RespBody::Stats(ServerStatsWire {
+                accepted: u64_at(p, 0),
+                closed: u64_at(p, 1),
+                requests: u64_at(p, 2),
+                protocol_errors: u64_at(p, 3),
+                shard_ops: (0..shards).map(|i| u64_at(p, 5 + i)).collect(),
+            })
+        }
+    };
+    Ok(Response { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(body: ReqBody) {
+        let req = Request { id: 42, body };
+        let bytes = encode_request(&req);
+        let mut fb = FrameBuf::new();
+        fb.feed(&bytes);
+        let frame = fb.next_frame().unwrap().expect("complete frame");
+        assert_eq!(decode_request(&frame).unwrap(), req);
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(ReqBody::Ping);
+        roundtrip_req(ReqBody::Get { key: 7 });
+        roundtrip_req(ReqBody::Contains { key: u64::MAX });
+        roundtrip_req(ReqBody::Insert { key: 1, value: 2 });
+        roundtrip_req(ReqBody::Upsert { key: 3, value: 4 });
+        roundtrip_req(ReqBody::Delete { key: 0 });
+        roundtrip_req(ReqBody::Range {
+            lo: 5,
+            hi: 10,
+            count_only: true,
+        });
+        roundtrip_req(ReqBody::SnapshotScan {
+            lo: 0,
+            hi: u64::MAX,
+            count_only: false,
+        });
+        roundtrip_req(ReqBody::Stats);
+    }
+
+    fn roundtrip_resp(opcode: Opcode, body: RespBody) {
+        let resp = Response { id: 9, body };
+        let bytes = encode_response(opcode, &resp);
+        let mut fb = FrameBuf::new();
+        fb.feed(&bytes);
+        let frame = fb.next_frame().unwrap().expect("complete frame");
+        assert_eq!(decode_response(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Opcode::Ping, RespBody::Pong);
+        roundtrip_resp(Opcode::Get, RespBody::Value(Some(11)));
+        roundtrip_resp(Opcode::Get, RespBody::Value(None));
+        roundtrip_resp(Opcode::Contains, RespBody::Bool(true));
+        roundtrip_resp(Opcode::Insert, RespBody::Bool(false));
+        roundtrip_resp(Opcode::Upsert, RespBody::Displaced(Some(0)));
+        roundtrip_resp(
+            Opcode::Range,
+            RespBody::Entries {
+                count: 3,
+                entries: vec![(1, 10), (2, 20), (3, 30)],
+                truncated: false,
+            },
+        );
+        roundtrip_resp(
+            Opcode::SnapshotScan,
+            RespBody::Entries {
+                count: 100,
+                entries: vec![],
+                truncated: true,
+            },
+        );
+        roundtrip_resp(
+            Opcode::Stats,
+            RespBody::Stats(ServerStatsWire {
+                accepted: 1,
+                closed: 2,
+                requests: 3,
+                protocol_errors: 4,
+                shard_ops: vec![5, 6, 7, 8],
+            }),
+        );
+        roundtrip_resp(
+            Opcode::Ping,
+            RespBody::Error(StatusCode::Shutdown, "draining".into()),
+        );
+    }
+
+    #[test]
+    fn frames_reassemble_from_arbitrary_splits() {
+        let a = encode_request(&Request {
+            id: 1,
+            body: ReqBody::Insert { key: 10, value: 20 },
+        });
+        let b = encode_request(&Request {
+            id: 2,
+            body: ReqBody::Range {
+                lo: 0,
+                hi: 100,
+                count_only: false,
+            },
+        });
+        let stream: Vec<u8> = a.iter().chain(&b).copied().collect();
+        for split in 0..stream.len() {
+            let mut fb = FrameBuf::new();
+            fb.feed(&stream[..split]);
+            let mut frames = Vec::new();
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+            fb.feed(&stream[split..]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+            assert_eq!(frames.len(), 2, "split at {split}");
+            assert_eq!(frames[0].id, 1);
+            assert_eq!(frames[1].id, 2);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_unframeable() {
+        let mut fb = FrameBuf::new();
+        fb.feed(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(err.code, StatusCode::BadMagic);
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut req = encode_request(&Request {
+            id: 77,
+            body: ReqBody::Ping,
+        });
+        // Forge a huge payload length; send only the header.
+        req[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut fb = FrameBuf::new();
+        fb.feed(&req);
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(err.code, StatusCode::Oversized);
+        assert_eq!(err.id, Some(77), "id still echoed: the header was intact");
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected_as_bad_payload() {
+        let mut bytes = encode_request(&Request {
+            id: 5,
+            body: ReqBody::Get { key: 1 },
+        });
+        // Claim 4 payload bytes and deliver 4: frames fine, decode fails.
+        bytes[16..20].copy_from_slice(&4u32.to_le_bytes());
+        bytes.truncate(HEADER_LEN + 4);
+        let mut fb = FrameBuf::new();
+        fb.feed(&bytes);
+        let frame = fb.next_frame().unwrap().expect("frames ok");
+        let err = decode_request(&frame).unwrap_err();
+        assert_eq!(err.code, StatusCode::BadPayload);
+        assert_eq!(err.id, Some(5));
+    }
+
+    #[test]
+    fn wrong_version_and_opcode_are_typed_errors() {
+        let mut bytes = encode_request(&Request {
+            id: 8,
+            body: ReqBody::Ping,
+        });
+        bytes[4] = 9; // version
+        let mut fb = FrameBuf::new();
+        fb.feed(&bytes);
+        let frame = fb.next_frame().unwrap().unwrap();
+        assert_eq!(
+            decode_request(&frame).unwrap_err().code,
+            StatusCode::BadVersion
+        );
+
+        let mut bytes = encode_request(&Request {
+            id: 8,
+            body: ReqBody::Ping,
+        });
+        bytes[5] = 0xEE; // opcode
+        let mut fb = FrameBuf::new();
+        fb.feed(&bytes);
+        let frame = fb.next_frame().unwrap().unwrap();
+        assert_eq!(
+            decode_request(&frame).unwrap_err().code,
+            StatusCode::BadOpcode
+        );
+    }
+
+    #[test]
+    fn compaction_keeps_long_streams_bounded() {
+        let mut fb = FrameBuf::new();
+        let frame = encode_request(&Request {
+            id: 3,
+            body: ReqBody::Insert { key: 1, value: 1 },
+        });
+        for _ in 0..10_000 {
+            fb.feed(&frame);
+            assert!(fb.next_frame().unwrap().is_some());
+        }
+        assert_eq!(fb.pending(), 0);
+        // The internal buffer must have been compacted along the way,
+        // not grown to 10k frames.
+        assert!(
+            fb.buf.len() < 100 * frame.len(),
+            "buf {} bytes",
+            fb.buf.len()
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-connection state for the nonblocking worker loop: a read-side
+//! [`FrameBuf`], a write-side pending buffer with partial-write
+//! handling, and an explicit closing state ("flush what's queued, then
+//! close") used both for protocol-error closes and graceful drain.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::codec::{DecodeError, Frame, FrameBuf};
+
+/// How much to ask the socket for per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One client connection, owned by exactly one worker.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    frames: FrameBuf,
+    /// Bytes queued for the peer; `wpos..` is still unsent.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Flush the write buffer, then close (no further reads served).
+    closing: bool,
+}
+
+/// What a read pass observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Connection open; zero or more bytes buffered.
+    Open {
+        /// Whether any new bytes arrived (progress indicator for the
+        /// worker's idle heuristic).
+        progressed: bool,
+    },
+    /// Peer closed its write side (EOF).
+    Eof,
+}
+
+impl Conn {
+    /// Wrap an accepted stream. The caller has already configured
+    /// nonblocking mode and `TCP_NODELAY`.
+    pub fn new(stream: TcpStream, max_payload: usize) -> Self {
+        Conn {
+            stream,
+            frames: FrameBuf::with_max_payload(max_payload),
+            wbuf: Vec::new(),
+            wpos: 0,
+            closing: false,
+        }
+    }
+
+    /// Drain everything the socket currently has into the frame buffer.
+    pub fn read_ready(&mut self) -> io::Result<ReadOutcome> {
+        if self.closing {
+            return Ok(ReadOutcome::Open { progressed: false });
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        let mut progressed = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => {
+                    self.frames.feed(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(ReadOutcome::Open { progressed });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pull the next complete request frame (`Ok(None)`: need bytes).
+    /// Once the connection is closing, buffered frames are no longer
+    /// served.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        if self.closing {
+            return Ok(None);
+        }
+        self.frames.next_frame()
+    }
+
+    /// Queue response bytes for the peer.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Push queued bytes to the socket, tolerating partial writes;
+    /// returns whether everything queued has been sent.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+
+    /// Whether bytes are still queued for the peer.
+    pub fn has_pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Enter the closing state: what is queued still flushes, nothing
+    /// further is read or served.
+    pub fn begin_close(&mut self) {
+        self.closing = true;
+    }
+
+    /// Whether this connection is in the closing state.
+    pub fn is_closing(&self) -> bool {
+        self.closing
+    }
+
+    /// Closing and fully flushed: safe to drop.
+    pub fn done(&self) -> bool {
+        self.closing && !self.has_pending_write()
+    }
+}

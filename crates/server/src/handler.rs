@@ -1,0 +1,198 @@
+//! Request dispatch: typed request in, typed response out, against one
+//! worker's long-lived [`ShardedSession`].
+//!
+//! The handler is deliberately transport-free (no sockets, no frames):
+//! the connection layer decodes, this maps operations onto the map, and
+//! the integration tests can drive it directly.
+
+use pnb_shard::ShardedSession;
+
+use crate::proto::{ReqBody, Request, RespBody, Response, ServerStatsWire, MAX_RANGE_ENTRIES};
+use crate::stats::ServerStats;
+
+/// Execute `req` against `session`, producing the response body.
+///
+/// Range-shaped results are capped at [`MAX_RANGE_ENTRIES`] entries
+/// (the `count` field still reports the full match count and the
+/// response is flagged truncated); `count_only` requests traverse
+/// without materializing entries at all — the shape `pnb-load` drives,
+/// mirroring `MapSession::range_scan` returning `usize`.
+pub fn handle(
+    req: &Request,
+    session: &ShardedSession<'_, u64, u64>,
+    stats: &ServerStats,
+) -> Response {
+    let body = match &req.body {
+        ReqBody::Ping => RespBody::Pong,
+        ReqBody::Get { key } => RespBody::Value(session.get(key)),
+        ReqBody::Contains { key } => RespBody::Bool(session.contains(key)),
+        ReqBody::Insert { key, value } => RespBody::Bool(session.insert(*key, *value)),
+        ReqBody::Upsert { key, value } => RespBody::Displaced(session.upsert(*key, *value)),
+        ReqBody::Delete { key } => RespBody::Bool(session.delete(key)),
+        ReqBody::Range { lo, hi, count_only } => scan(session.range(*lo..=*hi), *count_only),
+        ReqBody::SnapshotScan { lo, hi, count_only } => {
+            // One consistent cross-shard cut, then read from it: the
+            // paper's wait-free snapshot, over the wire.
+            let snap = session.snapshot();
+            scan(snap.range(*lo..=*hi), *count_only)
+        }
+        ReqBody::Stats => {
+            let s = stats.snapshot();
+            RespBody::Stats(ServerStatsWire {
+                accepted: s.accepted,
+                closed: s.closed,
+                requests: s.requests,
+                protocol_errors: s.protocol_errors,
+                shard_ops: session
+                    .map()
+                    .shard_stats()
+                    .iter()
+                    .map(pnb_shard::ShardOpStats::total)
+                    .collect(),
+            })
+        }
+    };
+    Response { id: req.id, body }
+}
+
+/// Fold a lazy range iterator into the wire shape, honouring the entry
+/// cap and `count_only`.
+fn scan(iter: impl Iterator<Item = (u64, u64)>, count_only: bool) -> RespBody {
+    let mut count = 0u64;
+    let mut entries = Vec::new();
+    for (k, v) in iter {
+        if !count_only && entries.len() < MAX_RANGE_ENTRIES {
+            entries.push((k, v));
+        }
+        count += 1;
+    }
+    let truncated = !count_only && (count as usize) > entries.len();
+    RespBody::Entries {
+        count,
+        entries,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnb_shard::ShardedPnbBst;
+
+    fn req(body: ReqBody) -> Request {
+        Request { id: 1, body }
+    }
+
+    #[test]
+    fn handler_covers_the_operation_set() {
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(4);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        let run = |body| handle(&req(body), &session, &stats).body;
+
+        assert_eq!(run(ReqBody::Ping), RespBody::Pong);
+        assert_eq!(
+            run(ReqBody::Insert { key: 5, value: 50 }),
+            RespBody::Bool(true)
+        );
+        assert_eq!(
+            run(ReqBody::Insert { key: 5, value: 51 }),
+            RespBody::Bool(false)
+        );
+        assert_eq!(
+            run(ReqBody::Upsert { key: 5, value: 55 }),
+            RespBody::Displaced(Some(50))
+        );
+        assert_eq!(run(ReqBody::Get { key: 5 }), RespBody::Value(Some(55)));
+        assert_eq!(run(ReqBody::Get { key: 6 }), RespBody::Value(None));
+        assert_eq!(run(ReqBody::Contains { key: 5 }), RespBody::Bool(true));
+        assert_eq!(run(ReqBody::Delete { key: 5 }), RespBody::Bool(true));
+        assert_eq!(run(ReqBody::Delete { key: 5 }), RespBody::Bool(false));
+    }
+
+    #[test]
+    fn range_and_snapshot_scan_agree_when_quiescent() {
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(4);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        for k in 0..100u64 {
+            session.insert(k * 10, k);
+        }
+        let live = handle(
+            &req(ReqBody::Range {
+                lo: 100,
+                hi: 500,
+                count_only: false,
+            }),
+            &session,
+            &stats,
+        );
+        let snap = handle(
+            &req(ReqBody::SnapshotScan {
+                lo: 100,
+                hi: 500,
+                count_only: false,
+            }),
+            &session,
+            &stats,
+        );
+        assert_eq!(live.body, snap.body);
+        match live.body {
+            RespBody::Entries {
+                count,
+                entries,
+                truncated,
+            } => {
+                assert_eq!(count, 41); // 100..=500 step 10
+                assert_eq!(entries.len(), 41);
+                assert!(!truncated);
+                assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+            other => panic!("expected entries, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_only_suppresses_entries() {
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(2);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        for k in 0..50u64 {
+            session.insert(k, k);
+        }
+        let r = handle(
+            &req(ReqBody::Range {
+                lo: 0,
+                hi: u64::MAX,
+                count_only: true,
+            }),
+            &session,
+            &stats,
+        );
+        assert_eq!(
+            r.body,
+            RespBody::Entries {
+                count: 50,
+                entries: vec![],
+                truncated: false,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_reports_shard_count_totals() {
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(3);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        stats.request();
+        stats.request();
+        let r = handle(&req(ReqBody::Stats), &session, &stats);
+        match r.body {
+            RespBody::Stats(w) => {
+                assert_eq!(w.requests, 2);
+                assert_eq!(w.shard_ops.len(), 3);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

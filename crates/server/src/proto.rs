@@ -1,0 +1,352 @@
+//! The wire protocol: frame layout, opcodes, status codes, and the
+//! typed request/response bodies the codec maps them to.
+//!
+//! Every message — request or response — is one *frame*: a fixed
+//! [`HEADER_LEN`]-byte header followed by `payload_len` bytes of
+//! payload. All integers are little-endian.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        b"PNB1"
+//! 4       1     version      PROTOCOL_VERSION (= 1)
+//! 5       1     opcode       Opcode (request) / echoed (response)
+//! 6       1     status       0 in requests; StatusCode in responses
+//! 7       1     flags        bit 0 COUNT_ONLY (req), bit 1 TRUNCATED (resp)
+//! 8       8     request id   u64, echoed verbatim in the response
+//! 16      4     payload len  u32, <= MAX_PAYLOAD
+//! ```
+//!
+//! The request id is an opaque client-chosen correlation token: the
+//! server echoes it so clients may pipeline any number of requests on
+//! one connection and match responses out of a FIFO (responses are sent
+//! in request order). Payloads are sequences of `u64` (keys, values,
+//! bounds); error responses carry a UTF-8 message instead. DESIGN.md §8
+//! documents the full protocol narrative.
+
+/// Frame magic: the first four bytes of every well-formed frame.
+pub const MAGIC: [u8; 4] = *b"PNB1";
+
+/// Protocol version this build speaks. A version mismatch is refused
+/// with [`StatusCode::BadVersion`] rather than guessed at.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed header size, bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// Hard payload ceiling. Anything larger is refused with
+/// [`StatusCode::Oversized`] *before* the payload is read, so a
+/// malicious length field cannot make a worker allocate unboundedly.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Range responses are capped at this many `(key, value)` entries; a
+/// capped response sets [`flags::TRUNCATED`]. Keeps one giant scan from
+/// wedging a worker behind a multi-megabyte write.
+pub const MAX_RANGE_ENTRIES: usize = 65_536;
+
+/// Frame flag bits.
+pub mod flags {
+    /// Request flag (Range/SnapshotScan): return only the match count,
+    /// not the entries. What the open-loop driver uses, mirroring
+    /// `MapSession::range_scan` returning `usize`.
+    pub const COUNT_ONLY: u8 = 1 << 0;
+    /// Response flag: the entry list was cut at
+    /// [`super::MAX_RANGE_ENTRIES`]; the count field still reports the
+    /// full match count.
+    pub const TRUNCATED: u8 = 1 << 1;
+}
+
+/// Operation selector, byte 5 of the header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; empty payload both ways.
+    Ping = 0x00,
+    /// Point lookup: payload `key`; response `present:u8` + `value:u64`.
+    Get = 0x01,
+    /// Membership test: payload `key`; response `present:u8`.
+    Contains = 0x02,
+    /// Set-semantics insert: payload `key value`; response `inserted:u8`.
+    Insert = 0x03,
+    /// Insert-or-replace: payload `key value`; response `displaced:u8`
+    /// + `old_value:u64`.
+    Upsert = 0x04,
+    /// Remove: payload `key`; response `removed:u8`.
+    Delete = 0x05,
+    /// Closed-interval range query over the live map: payload `lo hi`;
+    /// response `count:u64` then `(key, value)*` unless COUNT_ONLY.
+    Range = 0x06,
+    /// Range query over a fresh cross-shard snapshot (one consistent
+    /// cut, then read): same payload/response shape as Range.
+    SnapshotScan = 0x07,
+    /// Server counters: empty payload; response is the stats block
+    /// (see `RespBody::Stats`).
+    Stats = 0x08,
+}
+
+impl Opcode {
+    /// Decode byte 5; `None` for unknown opcodes (the caller answers
+    /// [`StatusCode::BadOpcode`]).
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0x00 => Opcode::Ping,
+            0x01 => Opcode::Get,
+            0x02 => Opcode::Contains,
+            0x03 => Opcode::Insert,
+            0x04 => Opcode::Upsert,
+            0x05 => Opcode::Delete,
+            0x06 => Opcode::Range,
+            0x07 => Opcode::SnapshotScan,
+            0x08 => Opcode::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status, byte 6. `Ok` for success; anything else is an
+/// error frame whose payload is a UTF-8 message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatusCode {
+    /// Success.
+    Ok = 0,
+    /// The frame did not start with [`MAGIC`] — the stream is not
+    /// speaking this protocol; the connection is closed after the
+    /// error frame.
+    BadMagic = 1,
+    /// Version byte != [`PROTOCOL_VERSION`].
+    BadVersion = 2,
+    /// Unknown opcode byte.
+    BadOpcode = 3,
+    /// Payload length does not match the opcode's shape (truncated or
+    /// trailing bytes).
+    BadPayload = 4,
+    /// Payload length exceeds [`MAX_PAYLOAD`].
+    Oversized = 5,
+    /// The server is draining; no new requests are accepted.
+    Shutdown = 6,
+    /// Internal server error.
+    Internal = 7,
+}
+
+impl StatusCode {
+    /// Decode byte 6; `None` for unknown status bytes.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => StatusCode::Ok,
+            1 => StatusCode::BadMagic,
+            2 => StatusCode::BadVersion,
+            3 => StatusCode::BadOpcode,
+            4 => StatusCode::BadPayload,
+            5 => StatusCode::Oversized,
+            6 => StatusCode::Shutdown,
+            7 => StatusCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StatusCode::Ok => "ok",
+            StatusCode::BadMagic => "bad magic",
+            StatusCode::BadVersion => "bad version",
+            StatusCode::BadOpcode => "bad opcode",
+            StatusCode::BadPayload => "bad payload",
+            StatusCode::Oversized => "oversized payload",
+            StatusCode::Shutdown => "server shutting down",
+            StatusCode::Internal => "internal error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded request: correlation id plus the typed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation token, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub body: ReqBody,
+}
+
+/// The typed request bodies (one per [`Opcode`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReqBody {
+    /// Liveness probe.
+    Ping,
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Membership test.
+    Contains {
+        /// Key to test.
+        key: u64,
+    },
+    /// Set-semantics insert.
+    Insert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Insert-or-replace.
+    Upsert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Remove.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Closed-interval `[lo, hi]` range query over the live map.
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+        /// Return only the match count (flag bit
+        /// [`flags::COUNT_ONLY`]).
+        count_only: bool,
+    },
+    /// Closed-interval query over a fresh cross-shard snapshot.
+    SnapshotScan {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+        /// Return only the match count.
+        count_only: bool,
+    },
+    /// Server counters.
+    Stats,
+}
+
+impl ReqBody {
+    /// The opcode this body travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            ReqBody::Ping => Opcode::Ping,
+            ReqBody::Get { .. } => Opcode::Get,
+            ReqBody::Contains { .. } => Opcode::Contains,
+            ReqBody::Insert { .. } => Opcode::Insert,
+            ReqBody::Upsert { .. } => Opcode::Upsert,
+            ReqBody::Delete { .. } => Opcode::Delete,
+            ReqBody::Range { .. } => Opcode::Range,
+            ReqBody::SnapshotScan { .. } => Opcode::SnapshotScan,
+            ReqBody::Stats => Opcode::Stats,
+        }
+    }
+}
+
+/// A decoded response: echoed id plus the typed result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request's correlation token, echoed.
+    pub id: u64,
+    /// The result.
+    pub body: RespBody,
+}
+
+/// The typed response bodies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespBody {
+    /// Ping reply.
+    Pong,
+    /// Get result.
+    Value(
+        /// The value, if the key was present.
+        Option<u64>,
+    ),
+    /// Contains / Insert / Delete result.
+    Bool(
+        /// Present / newly-inserted / removed.
+        bool,
+    ),
+    /// Upsert result: the displaced value, if any.
+    Displaced(
+        /// Previous value under the key.
+        Option<u64>,
+    ),
+    /// Range / SnapshotScan result.
+    Entries {
+        /// Full match count (even when the entry list is truncated or
+        /// COUNT_ONLY suppressed it).
+        count: u64,
+        /// Matching pairs, ascending; empty under COUNT_ONLY.
+        entries: Vec<(u64, u64)>,
+        /// The entry list was cut at [`MAX_RANGE_ENTRIES`].
+        truncated: bool,
+    },
+    /// Stats reply.
+    Stats(ServerStatsWire),
+    /// Error frame: status plus human-readable message.
+    Error(
+        /// Status code (never `Ok`).
+        StatusCode,
+        /// UTF-8 diagnostic message.
+        String,
+    ),
+}
+
+/// The Stats opcode's payload: server totals plus per-shard operation
+/// totals (the latter all zero unless the server was built with the
+/// `stats` feature).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsWire {
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Connections closed (either side) since startup.
+    pub closed: u64,
+    /// Well-formed requests served.
+    pub requests: u64,
+    /// Protocol errors answered with an error frame.
+    pub protocol_errors: u64,
+    /// Per-shard operation totals, index order.
+    pub shard_ops: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_bytes_roundtrip() {
+        for b in 0u8..=0x08 {
+            let op = Opcode::from_u8(b).expect("0x00..=0x08 are assigned");
+            assert_eq!(op as u8, b);
+        }
+        assert_eq!(Opcode::from_u8(0x09), None);
+        assert_eq!(Opcode::from_u8(0xff), None);
+    }
+
+    #[test]
+    fn status_bytes_roundtrip() {
+        for b in 0u8..=7 {
+            let st = StatusCode::from_u8(b).expect("0..=7 are assigned");
+            assert_eq!(st as u8, b);
+        }
+        assert_eq!(StatusCode::from_u8(8), None);
+    }
+
+    #[test]
+    fn body_opcode_mapping() {
+        assert_eq!(ReqBody::Ping.opcode(), Opcode::Ping);
+        assert_eq!(ReqBody::Get { key: 1 }.opcode(), Opcode::Get);
+        assert_eq!(
+            ReqBody::Range {
+                lo: 0,
+                hi: 1,
+                count_only: true
+            }
+            .opcode(),
+            Opcode::Range
+        );
+        assert_eq!(ReqBody::Stats.opcode(), Opcode::Stats);
+    }
+}

@@ -1,0 +1,353 @@
+//! The TCP server: a nonblocking accept loop feeding a fixed pool of
+//! worker threads, each owning a long-lived [`ShardedSession`](pnb_shard::ShardedSession).
+//!
+//! ## Threading model
+//!
+//! Thread-per-core, not thread-per-connection: `workers` threads are
+//! spawned once (default: available parallelism, capped at 8) and every
+//! accepted connection is handed to one of them round-robin. A worker
+//! multiplexes its connections with nonblocking reads — no per-request
+//! thread, no locks on the request path, and exactly one epoch-pinned
+//! session per worker, amortized over every request it will ever serve.
+//!
+//! ## Session refresh
+//!
+//! A long-lived session pins the epoch; if it never re-pins, no memory
+//! retired after the pin is ever reclaimed. Each worker therefore calls
+//! [`ShardedSession::refresh`](pnb_shard::ShardedSession::refresh) every [`ServerConfig::refresh_every`]
+//! operations — and on every idle pass, so an *idle* worker cannot
+//! wedge reclamation for the busy ones. `refresh` drops all shard
+//! handles before re-pinning (the pin count must reach zero —
+//! `Guard::repin` is a no-op while sibling guards exist; DESIGN.md §6).
+//!
+//! ## Graceful shutdown
+//!
+//! [`ShutdownHandle::signal`] (wired to SIGTERM/SIGINT by the
+//! `pnb-server` binary) stops the accept loop; workers keep serving for
+//! a [`ServerConfig::drain_grace`] window — so every request already
+//! sent (including pipelined ones still in socket buffers) is read,
+//! executed, and answered — then flush, close their connections, drop
+//! their sessions (releasing the epoch pins), and exit.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pnb_shard::ShardedPnbBst;
+
+use crate::codec::{decode_request, encode_decode_error, encode_response};
+use crate::conn::{Conn, ReadOutcome};
+use crate::handler::handle;
+use crate::proto::MAX_PAYLOAD;
+use crate::stats::ServerStats;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Shards in the served [`ShardedPnbBst`].
+    pub shards: usize,
+    /// Worker threads (0 = available parallelism, capped at 8).
+    pub workers: usize,
+    /// Refresh each worker's session after this many operations.
+    pub refresh_every: u64,
+    /// Per-frame payload ceiling (defaults to the protocol-wide
+    /// [`MAX_PAYLOAD`]).
+    pub max_payload: usize,
+    /// How long workers keep serving after shutdown is signalled.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 8,
+            workers: 0,
+            refresh_every: 256,
+            max_payload: MAX_PAYLOAD,
+            drain_grace: Duration::from_millis(200),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8)
+    }
+}
+
+/// Cloneable shutdown trigger for a running [`Server`].
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Ask the server to drain and exit (idempotent).
+    pub fn signal(&self) {
+        // Relaxed: the flag is polled; no data is published through it.
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_signalled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound-but-not-yet-running server. [`run`](Server::run) blocks the
+/// calling thread; [`spawn`](Server::spawn) runs it on its own thread
+/// (tests, benchmarks, the e14 experiment).
+pub struct Server {
+    listener: TcpListener,
+    map: ShardedPnbBst<u64, u64>,
+    cfg: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and build the
+    /// map; no thread runs until [`run`](Self::run).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Self> {
+        assert!(cfg.shards > 0, "a server needs at least one shard");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            map: ShardedPnbBst::new(cfg.shards),
+            cfg,
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server counters (live; also served by the Stats opcode).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A trigger that makes [`run`](Self::run) drain and return.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serve until shutdown is signalled, then drain and return.
+    pub fn run(self) -> io::Result<()> {
+        let workers = self.cfg.resolved_workers();
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        let mut receivers: Vec<Receiver<TcpStream>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let map = &self.map;
+        let stats = &*self.stats;
+        let cfg = &self.cfg;
+        let shutdown = &*self.shutdown;
+        let mut accept_err: Option<io::Error> = None;
+        std::thread::scope(|s| {
+            for rx in receivers.drain(..) {
+                s.spawn(move || worker_loop(rx, map, stats, shutdown, cfg));
+            }
+            let mut next = 0usize;
+            while !shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if configure(&stream).is_err() {
+                            continue; // peer already gone
+                        }
+                        stats.accepted();
+                        // Senders live until the loop ends, so a worker
+                        // can only observe disconnect after shutdown.
+                        let _ = senders[next % workers].send(stream);
+                        next = next.wrapping_add(1);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                    Err(e) => {
+                        // Fatal listener error: drain and report.
+                        accept_err = Some(e);
+                        shutdown.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Final sweep: connections already established (sitting in
+            // the OS accept backlog) when shutdown arrived are still
+            // adopted, so anything a client sent on an established
+            // connection is served during the drain.
+            // (Errors — WouldBlock included — mean the backlog is empty.)
+            while let Ok((stream, _peer)) = self.listener.accept() {
+                if configure(&stream).is_err() {
+                    continue;
+                }
+                stats.accepted();
+                let _ = senders[next % workers].send(stream);
+                next = next.wrapping_add(1);
+            }
+            drop(senders); // workers see Disconnected and start draining
+        });
+        match accept_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Run on a fresh thread; returns the bound address, the shutdown
+    /// trigger, and the join handle yielding [`run`](Self::run)'s
+    /// result.
+    pub fn spawn(
+        self,
+    ) -> io::Result<(
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<io::Result<()>>,
+    )> {
+        let addr = self.local_addr()?;
+        let handle = self.shutdown_handle();
+        let join = std::thread::spawn(move || self.run());
+        Ok((addr, handle, join))
+    }
+}
+
+fn configure(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true)
+}
+
+/// One worker: multiplex the connections routed here over a single
+/// long-lived session.
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    map: &ShardedPnbBst<u64, u64>,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    let mut session = map.pin();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut ops_since_refresh = 0u64;
+    // Set when shutdown is first observed; serving continues until it
+    // passes so already-sent (pipelined) requests are still answered.
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // Intake: adopt newly accepted connections.
+        let mut intake_open = true;
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => conns.push(Conn::new(stream, cfg.max_payload)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    intake_open = false;
+                    break;
+                }
+            }
+        }
+        if drain_deadline.is_none() && (shutdown.load(Ordering::Relaxed) || !intake_open) {
+            drain_deadline = Some(Instant::now() + cfg.drain_grace);
+        }
+
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let mut dead = false;
+            let conn = &mut conns[i];
+            match conn.read_ready() {
+                Ok(ReadOutcome::Open { progressed: p }) => progressed |= p,
+                Ok(ReadOutcome::Eof) => {
+                    // Peer finished sending; answer what's buffered,
+                    // flush, then close.
+                    conn.begin_close();
+                }
+                Err(_) => dead = true,
+            }
+            if !dead {
+                // Serve every complete frame buffered so far.
+                loop {
+                    match conn.next_frame() {
+                        Ok(Some(frame)) => {
+                            progressed = true;
+                            match decode_request(&frame) {
+                                Ok(req) => {
+                                    stats.request();
+                                    let resp = handle(&req, &session, stats);
+                                    conn.queue(&encode_response(req.body.opcode(), &resp));
+                                    ops_since_refresh += 1;
+                                }
+                                Err(e) => {
+                                    // Malformed but framable (bad
+                                    // version/opcode/payload): typed
+                                    // error, then close this connection
+                                    // only.
+                                    stats.protocol_error();
+                                    conn.queue(&encode_decode_error(&e));
+                                    conn.begin_close();
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Unframeable stream (bad magic, oversized
+                            // length): error frame, close.
+                            stats.protocol_error();
+                            conn.queue(&encode_decode_error(&e));
+                            conn.begin_close();
+                            break;
+                        }
+                    }
+                }
+                match conn.flush() {
+                    Ok(_) => {}
+                    Err(_) => dead = true,
+                }
+            }
+            if dead || conns[i].done() {
+                conns.swap_remove(i);
+                stats.closed();
+            } else {
+                i += 1;
+            }
+        }
+
+        if ops_since_refresh >= cfg.refresh_every {
+            session.refresh();
+            ops_since_refresh = 0;
+        }
+
+        if let Some(deadline) = drain_deadline {
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        if !progressed {
+            // Idle: re-pin so an idle worker never wedges reclamation,
+            // then yield the CPU briefly.
+            session.refresh();
+            ops_since_refresh = 0;
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    // Drain expired: flush leftovers best-effort and close everything.
+    for mut conn in conns {
+        conn.begin_close();
+        let _ = conn.flush();
+        stats.closed();
+    }
+    // `session` drops here: the worker's epoch pins are released.
+    drop(session);
+}

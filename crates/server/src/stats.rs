@@ -1,0 +1,86 @@
+//! Server-level counters: always-on, served by the Stats opcode.
+//!
+//! Unlike the structure-level counters (feature-gated `stats` in
+//! `pnb-bst`/`pnb-shard`, compiled out of measurement builds), these
+//! count *server* events — connections, requests, protocol errors —
+//! which the socket already makes far more expensive than one relaxed
+//! `fetch_add`, so they are unconditionally compiled in and CI can
+//! always health-check a running server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared server counters (one instance per server, updated by every
+/// worker with `Relaxed` ordering — totals, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time read of [`ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Connections closed (either side, including error closes).
+    pub closed: u64,
+    /// Well-formed requests served.
+    pub requests: u64,
+    /// Malformed frames answered with a typed error frame.
+    pub protocol_errors: u64,
+}
+
+impl ServerStats {
+    /// Count an accepted connection.
+    pub fn accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a closed connection.
+    pub fn closed(&self) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a served (well-formed) request.
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a protocol error answered with an error frame.
+    pub fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read every counter.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let s = ServerStats::default();
+        assert_eq!(s.snapshot(), ServerStatsSnapshot::default());
+        s.accepted();
+        s.accepted();
+        s.request();
+        s.protocol_error();
+        s.closed();
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.closed, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The malformed-frame battery (robustness requirement): every class
+//! of bad input gets a *typed* error frame, closes only the offending
+//! connection, never panics a worker, and never disturbs a well-behaved
+//! sibling connection on the same server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pnb_server::codec::{decode_response, encode_request, FrameBuf};
+use pnb_server::{Client, ReqBody, Request, RespBody, Server, ServerConfig, StatusCode};
+
+fn spawn() -> (
+    std::net::SocketAddr,
+    pnb_server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let cfg = ServerConfig {
+        shards: 4,
+        workers: 2,
+        drain_grace: Duration::from_millis(100),
+        ..Default::default()
+    };
+    Server::bind("127.0.0.1:0", cfg)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// Send raw bytes, then read frames until the connection closes;
+/// returns every decoded response.
+fn poke(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<(u64, RespBody)> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(bytes).expect("write attack bytes");
+    let mut fb = FrameBuf::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break, // server closed us: expected
+            Ok(n) => {
+                fb.feed(&chunk[..n]);
+                while let Some(frame) = fb.next_frame().expect("server sends valid frames") {
+                    let resp = decode_response(&frame).expect("decodable response");
+                    out.push((resp.id, resp.body));
+                }
+            }
+            Err(e) => panic!("expected error frame then close, got read error {e}"),
+        }
+    }
+    out
+}
+
+fn error_code(responses: &[(u64, RespBody)]) -> StatusCode {
+    match responses {
+        [(_, RespBody::Error(code, msg))] => {
+            assert!(!msg.is_empty(), "error frames carry a diagnostic");
+            *code
+        }
+        other => panic!("expected exactly one error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_gets_typed_error_and_close() {
+    let (addr, shutdown, join) = spawn();
+    let got = poke(addr, b"GET / HTTP/1.1\r\nHost: pnb\r\n\r\n");
+    assert_eq!(error_code(&got), StatusCode::BadMagic);
+    assert_eq!(got[0].0, 0, "unreadable header: id defaults to 0");
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_length_gets_typed_error_and_close() {
+    let (addr, shutdown, join) = spawn();
+    let mut frame = encode_request(&Request {
+        id: 99,
+        body: ReqBody::Ping,
+    });
+    frame[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    let got = poke(addr, &frame);
+    assert_eq!(error_code(&got), StatusCode::Oversized);
+    assert_eq!(got[0].0, 99, "header was intact: id echoed");
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn bad_opcode_gets_typed_error_and_close() {
+    let (addr, shutdown, join) = spawn();
+    let mut frame = encode_request(&Request {
+        id: 7,
+        body: ReqBody::Ping,
+    });
+    frame[5] = 0xEE;
+    let got = poke(addr, &frame);
+    assert_eq!(error_code(&got), StatusCode::BadOpcode);
+    assert_eq!(got[0].0, 7);
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn bad_version_gets_typed_error_and_close() {
+    let (addr, shutdown, join) = spawn();
+    let mut frame = encode_request(&Request {
+        id: 3,
+        body: ReqBody::Get { key: 1 },
+    });
+    frame[4] = 42;
+    let got = poke(addr, &frame);
+    assert_eq!(error_code(&got), StatusCode::BadVersion);
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn truncated_payload_gets_typed_error_and_close() {
+    let (addr, shutdown, join) = spawn();
+    // A Get whose header claims a 4-byte payload: frames fine, fails
+    // shape validation.
+    let mut frame = encode_request(&Request {
+        id: 5,
+        body: ReqBody::Get { key: 1 },
+    });
+    frame[16..20].copy_from_slice(&4u32.to_le_bytes());
+    frame.truncate(20 + 4);
+    let got = poke(addr, &frame);
+    assert_eq!(error_code(&got), StatusCode::BadPayload);
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn valid_requests_before_the_bad_one_are_still_answered() {
+    let (addr, shutdown, join) = spawn();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&encode_request(&Request {
+        id: 1,
+        body: ReqBody::Insert { key: 10, value: 20 },
+    }));
+    bytes.extend_from_slice(&encode_request(&Request {
+        id: 2,
+        body: ReqBody::Get { key: 10 },
+    }));
+    let mut bad = encode_request(&Request {
+        id: 3,
+        body: ReqBody::Ping,
+    });
+    bad[5] = 0xEE;
+    bytes.extend_from_slice(&bad);
+    let got = poke(addr, &bytes);
+    assert_eq!(got.len(), 3, "two answers then one error: {got:?}");
+    assert_eq!(got[0], (1, RespBody::Bool(true)));
+    assert_eq!(got[1], (2, RespBody::Value(Some(20))));
+    match &got[2] {
+        (3, RespBody::Error(StatusCode::BadOpcode, _)) => {}
+        other => panic!("expected BadOpcode error, got {other:?}"),
+    }
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn sibling_connections_are_unaffected_by_an_attacker() {
+    let (addr, shutdown, join) = spawn();
+    let mut healthy = Client::connect(addr).expect("healthy connect");
+    assert!(healthy.insert(1, 100).unwrap());
+
+    // A battery of attacks on separate connections, while the healthy
+    // one keeps working between each.
+    let attacks: Vec<Vec<u8>> = vec![
+        b"\x00\x01\x02\x03garbage".to_vec(),
+        {
+            let mut f = encode_request(&Request {
+                id: 1,
+                body: ReqBody::Ping,
+            });
+            f[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+            f
+        },
+        {
+            let mut f = encode_request(&Request {
+                id: 2,
+                body: ReqBody::Delete { key: 1 },
+            });
+            f[5] = 0x77;
+            f
+        },
+    ];
+    for attack in attacks {
+        let got = poke(addr, &attack);
+        assert_eq!(got.len(), 1, "one error frame per attack");
+        assert!(matches!(got[0].1, RespBody::Error(..)));
+        // The healthy connection keeps its state and its liveness.
+        assert_eq!(healthy.get(1).unwrap(), Some(100));
+        healthy.ping().unwrap();
+    }
+
+    let stats = healthy.stats().unwrap();
+    assert_eq!(stats.protocol_errors, 3);
+    assert!(
+        stats.closed >= 3,
+        "attackers closed, closed={}",
+        stats.closed
+    );
+    assert_eq!(healthy.get(1).unwrap(), Some(100));
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn half_frame_then_silence_does_not_wedge_the_worker() {
+    let (addr, shutdown, join) = spawn();
+    // Send half a valid frame and go quiet: the worker must neither
+    // block on us nor answer; siblings proceed.
+    let frame = encode_request(&Request {
+        id: 11,
+        body: ReqBody::Insert { key: 1, value: 2 },
+    });
+    let mut half = TcpStream::connect(addr).expect("connect");
+    half.write_all(&frame[..frame.len() / 2]).unwrap();
+
+    let mut sibling = Client::connect(addr).expect("sibling connect");
+    for k in 0..100u64 {
+        assert!(sibling.insert(k + 1_000, k).unwrap());
+    }
+    assert_eq!(sibling.range_count(1_000, 2_000).unwrap(), 100);
+    drop(half);
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+}

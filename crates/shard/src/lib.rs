@@ -90,9 +90,11 @@ mod merge;
 mod partition;
 mod session;
 mod snapshot;
+mod stats;
 
 pub use map::ShardedPnbBst;
 pub use merge::MergeRange;
 pub use partition::{HashPartitioner, Partitioner, RangePrefixPartitioner};
 pub use session::ShardedSession;
 pub use snapshot::ShardedSnapshot;
+pub use stats::{load_imbalance, ShardOpStats};

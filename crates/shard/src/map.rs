@@ -6,6 +6,7 @@ use pnb_bst::PnbBst;
 use crate::partition::{Partitioner, RangePrefixPartitioner};
 use crate::session::ShardedSession;
 use crate::snapshot::ShardedSnapshot;
+use crate::stats::{ShardCounters, ShardOpStats};
 
 /// A sharded front-end over `N` independent [`PnbBst`] instances.
 ///
@@ -35,6 +36,9 @@ use crate::snapshot::ShardedSnapshot;
 pub struct ShardedPnbBst<K, V, P = RangePrefixPartitioner> {
     pub(crate) shards: Box<[PnbBst<K, V>]>,
     pub(crate) partitioner: P,
+    /// Index-aligned with `shards`; zero-sized without the `stats`
+    /// feature (see [`crate::stats`]).
+    pub(crate) counters: Box<[ShardCounters]>,
 }
 
 impl<V> ShardedPnbBst<u64, V>
@@ -70,6 +74,7 @@ where
         ShardedPnbBst {
             shards: (0..shards).map(|_| PnbBst::new()).collect(),
             partitioner,
+            counters: (0..shards).map(|_| ShardCounters::default()).collect(),
         }
     }
 
@@ -100,6 +105,15 @@ where
     /// [`ShardedSession`].
     pub fn pin(&self) -> ShardedSession<'_, K, V, P> {
         ShardedSession::new(self)
+    }
+
+    /// Per-shard operation totals as counted at the routing layer, one
+    /// entry per shard in index order. All zeros unless built with the
+    /// `stats` feature (the counters are compiled out of measurement
+    /// builds so they cannot perturb E1–E6). Feed the result to
+    /// [`crate::load_imbalance`] for the max/mean balance ratio.
+    pub fn shard_stats(&self) -> Vec<ShardOpStats> {
+        self.counters.iter().map(ShardCounters::snapshot).collect()
     }
 
     /// Take a cross-shard snapshot: per-shard [`pnb_bst::Snapshot`]s
@@ -210,6 +224,28 @@ mod tests {
         assert!(populated >= 4, "only {populated}/8 shards used");
         let total: usize = (0..8).map(|i| m.shard(i).check_invariants()).sum();
         assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn shard_stats_shape_matches_shard_count() {
+        let m: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(4);
+        let s = m.pin();
+        assert!(s.insert(1, 1));
+        assert_eq!(s.get(&1), Some(1));
+        assert_eq!(s.range_scan(&0, &10), vec![(1, 1)]);
+        drop(s);
+        let st = m.shard_stats();
+        assert_eq!(st.len(), 4);
+        let total: u64 = st.iter().map(crate::ShardOpStats::total).sum();
+        #[cfg(feature = "stats")]
+        {
+            // 1 insert + 1 get + one scan participation per shard the
+            // partitioner visited (at least one).
+            assert!(total >= 3, "expected counted ops, got {st:?}");
+            assert!((1.0..=4.0).contains(&crate::load_imbalance(&st)));
+        }
+        #[cfg(not(feature = "stats"))]
+        assert_eq!(total, 0, "counters must compile out without `stats`");
     }
 
     #[test]

@@ -55,40 +55,56 @@ where
         self.map
     }
 
+    /// The key's shard index, with the per-shard counter bumped by the
+    /// caller-named class (compiled out without the `stats` feature).
     #[inline]
-    fn route(&self, key: &K) -> &Handle<'t, K, V> {
-        &self.handles[self.map.shard_of(key)]
+    fn route(&self, key: &K) -> usize {
+        let i = self.map.shard_of(key);
+        debug_assert!(i < self.handles.len());
+        i
     }
 
     /// Look up `key` in its shard.
     pub fn get(&self, key: &K) -> Option<V> {
-        self.route(key).get(key)
+        let i = self.route(key);
+        self.map.counters[i].gets();
+        self.handles[i].get(key)
     }
 
     /// Whether `key` is present in its shard.
     pub fn contains(&self, key: &K) -> bool {
-        self.route(key).contains(key)
+        let i = self.route(key);
+        self.map.counters[i].gets();
+        self.handles[i].contains(key)
     }
 
     /// Insert without replacement (set semantics); `true` iff `key` was
     /// absent.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.route(&key).insert(key, value)
+        let i = self.route(&key);
+        self.map.counters[i].inserts();
+        self.handles[i].insert(key, value)
     }
 
     /// Atomically insert or replace, returning the displaced value.
     pub fn upsert(&self, key: K, value: V) -> Option<V> {
-        self.route(&key).upsert(key, value)
+        let i = self.route(&key);
+        self.map.counters[i].upserts();
+        self.handles[i].upsert(key, value)
     }
 
     /// Remove `key`; `true` iff it was present.
     pub fn delete(&self, key: &K) -> bool {
-        self.route(key).delete(key)
+        let i = self.route(key);
+        self.map.counters[i].deletes();
+        self.handles[i].delete(key)
     }
 
     /// Remove `key`, returning its value.
     pub fn remove(&self, key: &K) -> Option<V> {
-        self.route(key).remove(key)
+        let i = self.route(key);
+        self.map.counters[i].deletes();
+        self.handles[i].remove(key)
     }
 
     /// Cross-shard lazy range query over any [`RangeBounds`], ascending
@@ -113,7 +129,8 @@ where
             // order (creating a `Range` closes the phase; it traverses
             // nothing until polled).
             None => {
-                for h in self.handles.iter().rev() {
+                for (i, h) in self.handles.iter().enumerate().rev() {
+                    self.map.counters[i].scans();
                     ranges.push(h.range((lo.clone(), hi.clone())));
                 }
             }
@@ -121,6 +138,7 @@ where
                 idx.sort_unstable_by(|a, b| b.cmp(a)); // descending
                 idx.dedup();
                 for i in idx {
+                    self.map.counters[i].scans();
                     ranges.push(self.handles[i].range((lo.clone(), hi.clone())));
                 }
             }

@@ -1,0 +1,155 @@
+//! Optional per-shard operation counters (compiled in with the `stats`
+//! feature).
+//!
+//! The sharded front-end's scaling argument rests on the partitioner
+//! spreading load evenly; these counters make the spread *observable*.
+//! [`ShardedPnbBst::shard_stats`](crate::ShardedPnbBst::shard_stats)
+//! returns one [`ShardOpStats`] per shard and [`load_imbalance`]
+//! reduces them to the max/mean ratio the reports print (1.0 = perfect
+//! balance). Counters are `Relaxed` atomics bumped on the session hot
+//! path, one cache line per shard so neighbouring shards never false
+//! share; without the feature every bump compiles to nothing and the
+//! snapshot reads zero.
+
+#[cfg(feature = "stats")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard's operation totals, as counted at the routing layer (a
+/// retried CAS inside the tree still counts once). Zeros without the
+/// `stats` build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardOpStats {
+    /// Point reads routed here (`get` + `contains`).
+    pub gets: u64,
+    /// Set-semantics inserts routed here.
+    pub inserts: u64,
+    /// Upserts routed here.
+    pub upserts: u64,
+    /// Deletes/removes routed here.
+    pub deletes: u64,
+    /// Range queries and snapshots this shard participated in.
+    pub scans: u64,
+}
+
+impl ShardOpStats {
+    /// All operations this shard served.
+    pub fn total(&self) -> u64 {
+        self.gets + self.inserts + self.upserts + self.deletes + self.scans
+    }
+}
+
+/// Internal per-shard counter block. One cache line per shard
+/// (`align(64)`) so bumps on neighbouring shards never false-share;
+/// zero-sized without the `stats` feature.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct ShardCounters {
+    #[cfg(feature = "stats")]
+    gets: AtomicU64,
+    #[cfg(feature = "stats")]
+    inserts: AtomicU64,
+    #[cfg(feature = "stats")]
+    upserts: AtomicU64,
+    #[cfg(feature = "stats")]
+    deletes: AtomicU64,
+    #[cfg(feature = "stats")]
+    scans: AtomicU64,
+}
+
+macro_rules! bump_impl {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[cfg(feature = "stats")]
+            #[inline]
+            pub(crate) fn $name(&self) {
+                self.$name.fetch_add(1, Ordering::Relaxed);
+            }
+            #[cfg(not(feature = "stats"))]
+            #[inline(always)]
+            pub(crate) fn $name(&self) {}
+        )*
+    };
+}
+
+impl ShardCounters {
+    bump_impl!(gets, inserts, upserts, deletes, scans);
+
+    /// Read this shard's totals (zeros without the `stats` feature).
+    pub(crate) fn snapshot(&self) -> ShardOpStats {
+        #[cfg(feature = "stats")]
+        {
+            ShardOpStats {
+                gets: self.gets.load(Ordering::Relaxed),
+                inserts: self.inserts.load(Ordering::Relaxed),
+                upserts: self.upserts.load(Ordering::Relaxed),
+                deletes: self.deletes.load(Ordering::Relaxed),
+                scans: self.scans.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "stats"))]
+        {
+            ShardOpStats::default()
+        }
+    }
+}
+
+/// Max/mean ratio of per-shard totals: 1.0 is a perfect spread, `N` is
+/// everything on one of `N` shards. Returns 0.0 when no shard has
+/// served any operation (e.g. without the `stats` build), so reports
+/// can distinguish "balanced" from "not measured".
+pub fn load_imbalance(stats: &[ShardOpStats]) -> f64 {
+    let totals: Vec<u64> = stats.iter().map(ShardOpStats::total).collect();
+    let sum: u64 = totals.iter().sum();
+    if sum == 0 || totals.is_empty() {
+        return 0.0;
+    }
+    let max = *totals.iter().max().expect("non-empty") as f64;
+    let mean = sum as f64 / totals.len() as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_defaults_to_zero() {
+        let c = ShardCounters::default();
+        assert_eq!(c.snapshot(), ShardOpStats::default());
+        assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn imbalance_of_nothing_is_zero() {
+        assert_eq!(load_imbalance(&[]), 0.0);
+        assert_eq!(load_imbalance(&[ShardOpStats::default(); 4]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_is_max_over_mean() {
+        let mk = |gets| ShardOpStats {
+            gets,
+            ..Default::default()
+        };
+        // Perfect balance.
+        assert!((load_imbalance(&[mk(10), mk(10)]) - 1.0).abs() < 1e-12);
+        // Everything on one of four shards: ratio = N.
+        let skew = [mk(100), mk(0), mk(0), mk(0)];
+        assert!((load_imbalance(&skew) - 4.0).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn counters_record() {
+        let c = ShardCounters::default();
+        c.gets();
+        c.gets();
+        c.inserts();
+        c.scans();
+        let s = c.snapshot();
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.total(), 4);
+    }
+}

@@ -154,6 +154,36 @@ impl HdrHistogram {
         self.min = self.min.min(other.min);
     }
 
+    /// The samples recorded in `self` but not in `earlier` — the
+    /// per-interval histogram between two cumulative snapshots of the
+    /// same recording stream (the interval-log reporter's primitive).
+    ///
+    /// `earlier` must be a previous snapshot of `self`'s stream (its
+    /// per-slot counts never exceed `self`'s); counts are subtracted
+    /// slot-wise with saturation so a violated precondition degrades to
+    /// an undercount instead of wrapping. `min`/`max` of the interval
+    /// are not recoverable from two cumulative snapshots, so the result
+    /// inherits `self`'s — percentiles stay correct to bucket
+    /// resolution, but the interval's `max()` may overestimate.
+    pub fn diff(&self, earlier: &HdrHistogram) -> HdrHistogram {
+        let mut out = HdrHistogram::new();
+        let mut total = 0u64;
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            *o = a.saturating_sub(*b);
+            total += *o;
+        }
+        out.total = total;
+        if total > 0 {
+            out.min = self.min;
+            out.max = self.max;
+        }
+        out
+    }
+
     /// Reset to empty, keeping the allocation (the sharded flush path).
     pub fn clear(&mut self) {
         self.counts.fill(0);
@@ -327,6 +357,26 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(a.value_at_percentile(0.5), None);
         assert_eq!(a.max(), 0);
+    }
+
+    #[test]
+    fn diff_recovers_the_interval_between_snapshots() {
+        // Simulate two reporting intervals over one cumulative stream.
+        let mut cum = HdrHistogram::new();
+        cum.record_n(100, 10);
+        cum.record_n(5_000, 2);
+        let snap1 = cum.clone();
+        cum.record_n(100, 3);
+        cum.record_n(9_000_000, 4);
+        let interval = cum.diff(&snap1);
+        assert_eq!(interval.len(), 7);
+        // The new samples dominate the interval's upper percentiles.
+        let p99 = interval.value_at_percentile(0.99).unwrap();
+        assert!(p99 >= 9_000_000, "interval p99 {p99} missed the new tail");
+        // Diff against itself is empty.
+        assert!(cum.diff(&cum).is_empty());
+        // Diff from an empty snapshot is the whole stream.
+        assert_eq!(cum.diff(&HdrHistogram::new()).len(), cum.len());
     }
 
     #[test]

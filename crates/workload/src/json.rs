@@ -1,11 +1,14 @@
-//! Minimal JSON emission for the experiments binary.
+//! Minimal JSON emission for the measurement binaries (the experiments
+//! sweep and the `pnb-load` network driver).
 //!
 //! The vendored `serde` is an API-stub (no `serde_json` exists in the
 //! offline workspace), so the `--json` trajectory file is emitted by
 //! this tiny, dependency-free writer. The schema is flat on purpose —
 //! one object per measurement row, all rows in a single `results` array
 //! — so CI can diff/plot `BENCH_*.json` files across PRs with `jq`
-//! one-liners.
+//! one-liners. It lives in `workload` (not the bench crate) so every
+//! driver that measures — in-process or over the wire — emits the same
+//! trajectory schema.
 
 /// A JSON scalar value.
 #[derive(Clone, Debug)]

@@ -33,6 +33,7 @@
 
 pub mod dist;
 pub mod histogram;
+pub mod json;
 pub mod latency;
 pub mod mix;
 pub mod runner;
@@ -47,7 +48,10 @@ pub use runner::{
     disjoint_slices, prefill, run_fixed_ops, run_scan_updater, run_throughput, Measurement,
     RunConfig, ScanUpdaterConfig, ScanUpdaterMeasurement,
 };
-pub use schedule::{run_open_loop, OpSchedule, OpenLoopClass, OpenLoopConfig, OpenLoopMeasurement};
+pub use schedule::{
+    run_open_loop, IntervalLogConfig, OpSchedule, OpenLoopClass, OpenLoopConfig,
+    OpenLoopMeasurement,
+};
 
 /// The uniform map interface driven by the harness: a *guard-aware*
 /// factory of per-thread [`MapSession`]s plus a typed capability

@@ -17,6 +17,10 @@
 //! * [`RwLockTree`] / [`MutexTree`] / [`SeqBst`] — baselines (crate
 //!   `lock-bst`).
 //! * [`workload`] — the setbench-style measurement harness.
+//! * [`pnb_server`] — the network front-end: the sharded map served
+//!   over a length-prefixed binary protocol on TCP (DESIGN §8), with
+//!   a pipelined [`pnb_server::Client`] and the
+//!   [`pnb_server::NetMap`] workload adapter.
 //!
 //! See `README.md` for the repository tour, `DESIGN.md` for the system
 //! inventory and experiment index, and `EXPERIMENTS.md` for measured
@@ -40,4 +44,5 @@ pub use pnb_shard::{
     ShardedSession, ShardedSnapshot,
 };
 
+pub use pnb_server;
 pub use workload;
