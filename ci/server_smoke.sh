@@ -61,6 +61,7 @@ grep -q '"op": "range_scan"' "$workdir/load.json"
 test -s "$workdir/intervals.jsonl"
 grep -q '"t_secs"' "$workdir/intervals.jsonl"
 grep -q '"achieved_rate"' "$workdir/intervals.jsonl"
+grep -q '"p50_ns"' "$workdir/intervals.jsonl"
 grep -q '"p99_ns"' "$workdir/intervals.jsonl"
 
 echo "== graceful drain on SIGTERM =="

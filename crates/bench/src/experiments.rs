@@ -879,6 +879,157 @@ pub fn e11(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out
 }
 
+/// E12 (extension) — checkpoint drag: what a concurrent durable
+/// checkpointer costs the foreground. Each cell drives the open-loop
+/// point mix against `pnb-sharded` at a fixed offered rate, once
+/// undisturbed and once with a background thread repeatedly writing
+/// full durable checkpoints (`ShardedPnbBst::checkpoint`, DESIGN §9)
+/// into a scratch directory. Because the checkpointer's cut is a
+/// wait-free `ShardedSnapshot`, the *expected* drag is IO + allocator
+/// pressure, not blocking — the rows make that claim measurable:
+/// `checkpoint_active` marks the mode, `checkpoints` counts completed
+/// generations, and `interval_p99_max_ns` (worst per-interval p99 from
+/// the interval log) exposes pauses that a whole-run p99 would average
+/// away.
+pub fn e12(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let kr: u64 = if opts.quick { 20_000 } else { 100_000 };
+    let threads = if opts.quick { 2 } else { 4 };
+    let rates: Vec<f64> = if opts.quick {
+        vec![50e3, 200e3]
+    } else {
+        vec![100e3, 400e3]
+    };
+    let mix = Mix::new(25, 25, 50, 0, 0);
+    let mut out = format!(
+        "\n### E12 — Checkpoint drag on open-loop tail latency \
+         (pnb-sharded, 25i/25d/50f, scrambled-Zipf θ=0.99, {threads} \
+         threads, key range {kr})\n\n\
+         | ckpt | offered | achieved | ckpts | op | samples | p50 | p99 | worst-interval p99 |\n\
+         |---|---|---|---|---|---|---|---|---|\n"
+    );
+    let scratch = std::env::temp_dir().join(format!("pnb_e12_{}", std::process::id()));
+    for checkpoint_active in [false, true] {
+        for (cell, &rate) in rates.iter().enumerate() {
+            let map = adapters::Sharded::new();
+            let ckpt_dir = scratch.join(format!("ckpt_{checkpoint_active}_{cell}"));
+            let log_path = scratch.join(format!("ivl_{checkpoint_active}_{cell}.jsonl"));
+            let _ = std::fs::remove_file(&log_path);
+            std::fs::create_dir_all(&scratch).expect("scratch dir");
+            let cfg = OpenLoopConfig {
+                threads,
+                target_rate: rate,
+                duration: opts.duration(),
+                key_dist: KeyDist::scrambled_zipfian(kr, 0.99),
+                mix,
+                prefill_fraction: 0.5,
+                seed: 42,
+                interval_log: Some(workload::IntervalLogConfig::with_interval(
+                    &log_path,
+                    Duration::from_millis(50),
+                )),
+            };
+            eprintln!(
+                "  checkpointer {} / offered {:.0}k ops/s ...",
+                if checkpoint_active { "on" } else { "off" },
+                rate / 1e3
+            );
+            let stop = AtomicBool::new(false);
+            let mut checkpoints = 0u64;
+            let m = std::thread::scope(|s| {
+                let ckpt = checkpoint_active.then(|| {
+                    s.spawn(|| {
+                        // Checkpoint continuously (with a breather) for
+                        // the run's whole lifetime: every generation is
+                        // a full wait-free cut serialized + fsynced.
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            map.0.checkpoint(&ckpt_dir).expect("checkpoint scratch dir");
+                            n += 1;
+                            for _ in 0..4 {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(25));
+                            }
+                        }
+                        n
+                    })
+                });
+                let m = workload::run_open_loop(&map, &cfg)
+                    .expect("sharded map declares the point-op surface");
+                stop.store(true, Ordering::Release);
+                if let Some(h) = ckpt {
+                    checkpoints = h.join().expect("checkpointer thread joins");
+                }
+                m
+            });
+
+            // Worst per-interval p99 from the interval log: the pause
+            // lens. (The log is JSONL written by this run alone.)
+            let rows_text = std::fs::read_to_string(&log_path).unwrap_or_default();
+            let mut intervals = 0u64;
+            let mut interval_p99_max_ns = 0u64;
+            for line in rows_text.lines() {
+                if let Some(rest) = line.split("\"p99_ns\": ").nth(1) {
+                    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                    if let Ok(v) = digits.parse::<u64>() {
+                        intervals += 1;
+                        interval_p99_max_ns = interval_p99_max_ns.max(v);
+                    }
+                }
+            }
+            let _ = std::fs::remove_file(&log_path);
+            let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+            for c in &m.classes {
+                log.push(
+                    "e12",
+                    &[
+                        ("structure", Val::s(&m.name)),
+                        ("threads", Val::U(threads as u64)),
+                        ("key_range", Val::U(kr)),
+                        ("checkpoint_active", Val::B(checkpoint_active)),
+                        ("checkpoints", Val::U(checkpoints)),
+                        ("offered_rate", Val::F(m.offered_rate)),
+                        ("achieved_rate", Val::F(m.achieved_rate)),
+                        ("elapsed_secs", Val::F(m.elapsed_secs)),
+                        ("intervals", Val::U(intervals)),
+                        ("interval_p99_max_ns", Val::U(interval_p99_max_ns)),
+                        ("op", Val::s(&c.class)),
+                        ("samples", Val::U(c.count)),
+                        ("p50_ns", Val::U(c.p50_ns)),
+                        ("p99_ns", Val::U(c.p99_ns)),
+                        ("p999_ns", Val::U(c.p999_ns)),
+                        ("max_ns", Val::U(c.max_ns)),
+                    ],
+                );
+                out.push_str(&format!(
+                    "| {} | {} | {} | {checkpoints} | {} | {} | {} | {} | {} |\n",
+                    if checkpoint_active { "on" } else { "off" },
+                    fmt_tput(m.offered_rate),
+                    fmt_tput(m.achieved_rate),
+                    c.class,
+                    c.count,
+                    fmt_ns(c.p50_ns),
+                    fmt_ns(c.p99_ns),
+                    fmt_ns(interval_p99_max_ns),
+                ));
+            }
+            pnb_bst::collector_drain(64);
+            pnb_bst::arena_trim(); // heap hygiene between cells
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    out.push_str(
+        "\n*(checkpointer serializes a full wait-free cut + fsync per \
+         generation; drag shows up as the on/off gap in p99 and \
+         worst-interval p99, not as blocking)*\n",
+    );
+    out
+}
+
 /// E14 (extension) — the network round trip: open-loop tail latency vs
 /// offered rate through `pnb-server` on loopback. Same engine and
 /// schema as E11, but every operation crosses the full server stack
@@ -1134,6 +1285,21 @@ mod tests {
         assert!(rendered.contains("\"offered_rate\""));
         assert!(rendered.contains("\"achieved_rate\""));
         assert!(rendered.contains("\"p999_ns\""));
+    }
+
+    #[test]
+    fn e12_reports_checkpoint_drag_rows_per_mode_rate_and_class() {
+        let mut log = JsonLog::new();
+        let s = e12(&tiny(), &mut log);
+        assert!(s.contains("Checkpoint drag"));
+        // 2 checkpointer modes × 2 offered rates × 3 op classes.
+        assert_eq!(log.len(), 12);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e12\""));
+        assert!(rendered.contains("\"checkpoint_active\": true"));
+        assert!(rendered.contains("\"checkpoint_active\": false"));
+        assert!(rendered.contains("\"checkpoints\""));
+        assert!(rendered.contains("\"interval_p99_max_ns\""));
     }
 
     #[test]

@@ -122,6 +122,7 @@ mod info;
 mod iter;
 pub mod key;
 mod node;
+pub mod persist;
 mod scan;
 mod search;
 mod set;
@@ -136,6 +137,7 @@ pub mod testing;
 pub use handle::Handle;
 pub use iter::Range;
 pub use key::SKey;
+pub use persist::{CheckpointError, CheckpointReport};
 pub use set::PnbBstSet;
 pub use snapshot::Snapshot;
 pub use stats::StatsSnapshot;

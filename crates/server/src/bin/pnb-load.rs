@@ -4,8 +4,10 @@
 //! pnb-load --addr HOST:PORT [--threads 2] [--rate 10000]
 //!          [--duration-ms 2000] [--keys 65536]
 //!          [--dist scrambled-zipf|zipf|uniform] [--theta 0.99]
-//!          [--mix point|range|update] [--prefill 0.5] [--seed 42]
+//!          [--mix point|range|update|find] [--prefill 0.5] [--seed 42]
 //!          [--json PATH] [--interval-log PATH]
+//! pnb-load --addr HOST:PORT --checkpoint-now
+//! pnb-load --addr HOST:PORT --count
 //! ```
 //!
 //! Reuses `workload::run_open_loop` over the [`pnb_server::NetMap`]
@@ -14,8 +16,16 @@
 //! HDR histograms. Emits a human summary on stdout; `--json` writes
 //! rows in the same schema as experiments e11/e14 (`offered_rate`,
 //! `achieved_rate`, `p50_ns`, `p99_ns`, `p999_ns`, …); `--interval-log`
-//! appends per-interval `{"t_secs", "achieved_rate", "p99_ns"}` JSONL
-//! rows so saturation collapses are visible in time, not averaged away.
+//! appends per-interval `{"t_secs", "achieved_rate", "p50_ns",
+//! "p99_ns"}` JSONL rows so saturation collapses are visible in time,
+//! not averaged away.
+//!
+//! Two one-shot modes support the checkpoint smoke test (CI): with
+//! `--checkpoint-now` the driver connects, triggers one durable
+//! checkpoint on a server started with `--checkpoint-dir`, prints
+//! `pnb-load: checkpoint generation=N entries=M`, and exits; with
+//! `--count` it prints `pnb-load: count=N` (a full-range count) and
+//! exits. Both skip the open-loop engine entirely.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -28,8 +38,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: pnb-load --addr HOST:PORT [--threads N] [--rate OPS_PER_SEC] \
          [--duration-ms MS] [--keys N] [--dist scrambled-zipf|zipf|uniform] \
-         [--theta F] [--mix point|range|update] [--prefill F] [--seed N] \
-         [--json PATH] [--interval-log PATH]"
+         [--theta F] [--mix point|range|update|find] [--prefill F] [--seed N] \
+         [--json PATH] [--interval-log PATH]\n\
+         \x20      pnb-load --addr HOST:PORT --checkpoint-now | --count"
     );
     std::process::exit(2);
 }
@@ -47,6 +58,8 @@ struct Opts {
     seed: u64,
     json: Option<String>,
     interval_log: Option<String>,
+    checkpoint_now: bool,
+    count: bool,
 }
 
 impl Default for Opts {
@@ -64,6 +77,8 @@ impl Default for Opts {
             seed: 42,
             json: None,
             interval_log: None,
+            checkpoint_now: false,
+            count: false,
         }
     }
 }
@@ -93,6 +108,8 @@ fn parse_args() -> Opts {
             "--seed" => o.seed = parse(&take("--seed"), "--seed"),
             "--json" => o.json = Some(take("--json")),
             "--interval-log" => o.interval_log = Some(take("--interval-log")),
+            "--checkpoint-now" => o.checkpoint_now = true,
+            "--count" => o.count = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -114,8 +131,44 @@ fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
     })
 }
 
+/// One-shot administrative modes (`--checkpoint-now`, `--count`): a
+/// bare [`pnb_server::Client`], one request, one greppable stdout line.
+fn run_one_shot(o: &Opts) -> ExitCode {
+    let mut c = match pnb_server::Client::connect(o.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("pnb-load: cannot reach {}: {e}", o.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.checkpoint_now {
+        match c.checkpoint() {
+            Ok((generation, entries)) => {
+                println!("pnb-load: checkpoint generation={generation} entries={entries}");
+            }
+            Err(e) => {
+                eprintln!("pnb-load: checkpoint failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if o.count {
+        match c.range_count(0, u64::MAX) {
+            Ok(n) => println!("pnb-load: count={n}"),
+            Err(e) => {
+                eprintln!("pnb-load: count failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let o = parse_args();
+    if o.checkpoint_now || o.count {
+        return run_one_shot(&o);
+    }
     let key_dist = match o.dist.as_str() {
         "uniform" => KeyDist::uniform(o.keys),
         "zipf" => KeyDist::zipfian(o.keys, o.theta),
@@ -126,13 +179,16 @@ fn main() -> ExitCode {
         }
     };
     // The same shapes e14 sweeps: point = 25i/25u(del)/50f, range adds
-    // 10% width-100 scans, update is insert/delete only.
+    // 10% width-100 scans, update is insert/delete only; find is a
+    // read-only mix (keeps map content fixed — checkpoint smoke uses it
+    // to apply load across a kill -9 without changing the key set).
     let mix = match o.mix.as_str() {
         "point" => Mix::new(25, 25, 50, 0, 0),
         "range" => Mix::new(20, 20, 50, 10, 100),
         "update" => Mix::new(50, 50, 0, 0, 0),
+        "find" => Mix::new(0, 0, 100, 0, 0),
         other => {
-            eprintln!("unknown --mix {other} (point|range|update)");
+            eprintln!("unknown --mix {other} (point|range|update|find)");
             usage();
         }
     };

@@ -3,6 +3,7 @@
 //! ```text
 //! pnb-server [--addr 127.0.0.1:7878] [--shards 8] [--workers 0]
 //!            [--refresh-every 256] [--addr-file PATH]
+//!            [--checkpoint-dir PATH] [--restore]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes
@@ -10,6 +11,13 @@
 //! step) can discover it. SIGINT/SIGTERM trigger a graceful drain:
 //! in-flight and already-pipelined requests are answered, connections
 //! flushed and closed, sessions dropped, and the process exits 0.
+//!
+//! `--checkpoint-dir` enables the `Checkpoint` opcode (clients trigger
+//! durable checkpoints of the live map into that directory);
+//! `--restore` additionally loads the newest committed checkpoint at
+//! startup — the restored shard count and partitioner configuration
+//! override `--shards`. Restoring from a directory with no loadable
+//! checkpoint is a startup failure, not an empty map.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,7 +56,7 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: pnb-server [--addr HOST:PORT] [--shards N] [--workers N] \
-         [--refresh-every N] [--addr-file PATH]"
+         [--refresh-every N] [--addr-file PATH] [--checkpoint-dir PATH] [--restore]"
     );
     std::process::exit(2);
 }
@@ -69,6 +77,10 @@ fn main() -> ExitCode {
                 cfg.refresh_every = parse(&take("--refresh-every"), "--refresh-every")
             }
             "--addr-file" => addr_file = Some(take("--addr-file")),
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = Some(std::path::PathBuf::from(take("--checkpoint-dir")))
+            }
+            "--restore" => cfg.restore = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -46,6 +46,25 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// The result of an entry-transferring range query: the entries that
+/// crossed the wire, the *full* match count, and the server's explicit
+/// truncation flag.
+///
+/// `truncated` comes straight from the response frame's TRUNCATED bit —
+/// callers no longer have to infer truncation from
+/// `count > entries.len()` (and cannot forget to).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeReply {
+    /// Matching `(key, value)` pairs, ascending; at most the server's
+    /// per-response cap.
+    pub entries: Vec<(u64, u64)>,
+    /// Full match count, even when the entry list was cut.
+    pub count: u64,
+    /// The entry list was cut at the server's cap
+    /// ([`MAX_RANGE_ENTRIES`](crate::proto::MAX_RANGE_ENTRIES)).
+    pub truncated: bool,
+}
+
 /// One blocking connection to a `pnb-server`: send a request, read its
 /// response. Requests may be pipelined with
 /// [`send`](Client::send)/[`recv`](Client::recv); [`call`] is the
@@ -183,37 +202,60 @@ impl Client {
         }
     }
 
-    /// Fetch the entries in `[lo, hi]` from the live map. The second
-    /// field is the *full* match count; when it exceeds
-    /// `entries.len()`, the list was truncated at the server's cap.
-    pub fn range_entries(
-        &mut self,
-        lo: u64,
-        hi: u64,
-    ) -> Result<(Vec<(u64, u64)>, u64), ClientError> {
+    /// Fetch the entries in `[lo, hi]` from the live map. The reply
+    /// carries the full match count and the server's explicit
+    /// truncation flag (see [`RangeReply`]).
+    pub fn range_entries(&mut self, lo: u64, hi: u64) -> Result<RangeReply, ClientError> {
         match self.call(ReqBody::Range {
             lo,
             hi,
             count_only: false,
         })? {
-            RespBody::Entries { count, entries, .. } => Ok((entries, count)),
+            RespBody::Entries {
+                count,
+                entries,
+                truncated,
+            } => Ok(RangeReply {
+                entries,
+                count,
+                truncated,
+            }),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Fetch the entries in `[lo, hi]` from a fresh cross-shard
-    /// snapshot (one consistent cut taken server-side).
-    pub fn snapshot_entries(
-        &mut self,
-        lo: u64,
-        hi: u64,
-    ) -> Result<(Vec<(u64, u64)>, u64), ClientError> {
+    /// snapshot (one consistent cut taken server-side). See
+    /// [`RangeReply`] for the truncation contract.
+    pub fn snapshot_entries(&mut self, lo: u64, hi: u64) -> Result<RangeReply, ClientError> {
         match self.call(ReqBody::SnapshotScan {
             lo,
             hi,
             count_only: false,
         })? {
-            RespBody::Entries { count, entries, .. } => Ok((entries, count)),
+            RespBody::Entries {
+                count,
+                entries,
+                truncated,
+            } => Ok(RangeReply {
+                entries,
+                count,
+                truncated,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to write a durable checkpoint to its configured
+    /// `--checkpoint-dir`; returns `(generation, entries)`. Servers
+    /// without a checkpoint directory answer a typed error
+    /// ([`ClientError::Remote`]).
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.call(ReqBody::Checkpoint)? {
+            RespBody::CheckpointDone {
+                generation,
+                entries,
+            } => Ok((generation, entries)),
             other => Err(unexpected(&other)),
         }
     }
@@ -254,6 +296,7 @@ fn unexpected(body: &RespBody) -> ClientError {
 pub struct NetMap {
     addr: SocketAddr,
     pool: Mutex<Vec<Client>>,
+    count_only_scans: bool,
 }
 
 impl NetMap {
@@ -269,7 +312,20 @@ impl NetMap {
         Ok(NetMap {
             addr,
             pool: Mutex::new(vec![probe]),
+            count_only_scans: false,
         })
+    }
+
+    /// Make sessions issue COUNT_ONLY range scans (only the count
+    /// crosses the wire) instead of the default entry transfer.
+    ///
+    /// The default measures what the in-process adapters measure —
+    /// materialized entries, serialization and transfer included — so
+    /// E11↔E14 range latencies compare like for like. Flip this on only
+    /// to isolate traversal cost from result marshalling.
+    pub fn count_only_scans(mut self, enabled: bool) -> Self {
+        self.count_only_scans = enabled;
+        self
     }
 
     /// The resolved server address.
@@ -336,9 +392,31 @@ impl MapSession for NetSession<'_> {
     }
 
     fn range_scan(&mut self, lo: &u64, hi: &u64) -> usize {
-        self.client()
-            .range_count(*lo, *hi)
-            .expect("range over the wire") as usize
+        if self.map.count_only_scans {
+            return self
+                .client()
+                .range_count(*lo, *hi)
+                .expect("range over the wire") as usize;
+        }
+        // Entry transfer is the measured default: the in-process
+        // adapters materialize entries, so the over-the-wire latency
+        // must pay serialization and transfer too or E11↔E14 range
+        // comparisons are apples-to-oranges. A truncated reply would
+        // under-count that cost — fail loudly per this adapter's
+        // contract instead of fabricating comparable-looking numbers.
+        let (lo, hi) = (*lo, *hi);
+        let reply = self
+            .client()
+            .range_entries(lo, hi)
+            .expect("range over the wire");
+        assert!(
+            !reply.truncated,
+            "range [{lo}, {hi}] truncated at {} of {} entries: narrow the range \
+             or opt into NetMap::count_only_scans",
+            reply.entries.len(),
+            reply.count,
+        );
+        reply.count as usize
     }
 
     /// No-op: the *server's* workers refresh their epoch-pinned

@@ -175,7 +175,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut payload = Vec::new();
     let mut fl = 0u8;
     match &req.body {
-        ReqBody::Ping | ReqBody::Stats => {}
+        ReqBody::Ping | ReqBody::Stats | ReqBody::Checkpoint => {}
         ReqBody::Get { key } | ReqBody::Contains { key } | ReqBody::Delete { key } => {
             payload.extend_from_slice(&key.to_le_bytes());
         }
@@ -231,6 +231,13 @@ pub fn encode_response(opcode: Opcode, resp: &Response) -> Vec<u8> {
             if *truncated {
                 fl |= flags::TRUNCATED;
             }
+        }
+        RespBody::CheckpointDone {
+            generation,
+            entries,
+        } => {
+            payload.extend_from_slice(&generation.to_le_bytes());
+            payload.extend_from_slice(&entries.to_le_bytes());
         }
         RespBody::Stats(s) => {
             payload.extend_from_slice(&s.accepted.to_le_bytes());
@@ -305,14 +312,14 @@ pub fn decode_request(frame: &Frame) -> Result<Request, DecodeError> {
     let p = &frame.payload;
     let count_only = frame.flags & flags::COUNT_ONLY != 0;
     let body = match opcode {
-        Opcode::Ping | Opcode::Stats => {
+        Opcode::Ping | Opcode::Stats | Opcode::Checkpoint => {
             if !p.is_empty() {
                 return Err(bad_payload(id, "empty payload", p.len()));
             }
-            if opcode == Opcode::Ping {
-                ReqBody::Ping
-            } else {
-                ReqBody::Stats
+            match opcode {
+                Opcode::Ping => ReqBody::Ping,
+                Opcode::Stats => ReqBody::Stats,
+                _ => ReqBody::Checkpoint,
             }
         }
         Opcode::Get | Opcode::Contains | Opcode::Delete => {
@@ -419,6 +426,15 @@ pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
                 truncated: frame.flags & flags::TRUNCATED != 0,
             }
         }
+        Opcode::Checkpoint => {
+            if p.len() != 16 {
+                return Err(bad_payload(id, "16-byte generation+entries", p.len()));
+            }
+            RespBody::CheckpointDone {
+                generation: u64_at(p, 0),
+                entries: u64_at(p, 1),
+            }
+        }
         Opcode::Stats => {
             if p.len() < 40 {
                 return Err(bad_payload(id, ">=40-byte stats block", p.len()));
@@ -472,6 +488,7 @@ mod tests {
             count_only: false,
         });
         roundtrip_req(ReqBody::Stats);
+        roundtrip_req(ReqBody::Checkpoint);
     }
 
     fn roundtrip_resp(opcode: Opcode, body: RespBody) {
@@ -516,6 +533,13 @@ mod tests {
                 protocol_errors: 4,
                 shard_ops: vec![5, 6, 7, 8],
             }),
+        );
+        roundtrip_resp(
+            Opcode::Checkpoint,
+            RespBody::CheckpointDone {
+                generation: 3,
+                entries: 12_345,
+            },
         );
         roundtrip_resp(
             Opcode::Ping,

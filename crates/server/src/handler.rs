@@ -5,6 +5,8 @@
 //! the connection layer decodes, this maps operations onto the map, and
 //! the integration tests can drive it directly.
 
+use std::path::Path;
+
 use pnb_shard::ShardedSession;
 
 use crate::proto::{ReqBody, Request, RespBody, Response, ServerStatsWire, MAX_RANGE_ENTRIES};
@@ -15,12 +17,16 @@ use crate::stats::ServerStats;
 /// Range-shaped results are capped at [`MAX_RANGE_ENTRIES`] entries
 /// (the `count` field still reports the full match count and the
 /// response is flagged truncated); `count_only` requests traverse
-/// without materializing entries at all — the shape `pnb-load` drives,
-/// mirroring `MapSession::range_scan` returning `usize`.
+/// without materializing entries at all.
+///
+/// `checkpoint_dir` is where the `Checkpoint` opcode writes its
+/// generations; `None` (no `--checkpoint-dir` configured) refuses the
+/// opcode with a typed error rather than inventing a location.
 pub fn handle(
     req: &Request,
     session: &ShardedSession<'_, u64, u64>,
     stats: &ServerStats,
+    checkpoint_dir: Option<&Path>,
 ) -> Response {
     let body = match &req.body {
         ReqBody::Ping => RespBody::Pong,
@@ -51,6 +57,25 @@ pub fn handle(
                     .collect(),
             })
         }
+        ReqBody::Checkpoint => match checkpoint_dir {
+            // The worker's session borrows the same map; the checkpoint
+            // serializes one consistent descending-capture cut while
+            // the other workers keep serving updates.
+            Some(dir) => match session.map().checkpoint(dir) {
+                Ok(report) => RespBody::CheckpointDone {
+                    generation: report.generation,
+                    entries: report.entries,
+                },
+                Err(e) => RespBody::Error(
+                    crate::proto::StatusCode::Internal,
+                    format!("checkpoint failed: {e}"),
+                ),
+            },
+            None => RespBody::Error(
+                crate::proto::StatusCode::Internal,
+                "no --checkpoint-dir configured".to_string(),
+            ),
+        },
     };
     Response { id: req.id, body }
 }
@@ -88,7 +113,7 @@ mod tests {
         let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(4);
         let session = map.pin();
         let stats = ServerStats::default();
-        let run = |body| handle(&req(body), &session, &stats).body;
+        let run = |body| handle(&req(body), &session, &stats, None).body;
 
         assert_eq!(run(ReqBody::Ping), RespBody::Pong);
         assert_eq!(
@@ -126,6 +151,7 @@ mod tests {
             }),
             &session,
             &stats,
+            None,
         );
         let snap = handle(
             &req(ReqBody::SnapshotScan {
@@ -135,6 +161,7 @@ mod tests {
             }),
             &session,
             &stats,
+            None,
         );
         assert_eq!(live.body, snap.body);
         match live.body {
@@ -168,6 +195,7 @@ mod tests {
             }),
             &session,
             &stats,
+            None,
         );
         assert_eq!(
             r.body,
@@ -186,7 +214,7 @@ mod tests {
         let stats = ServerStats::default();
         stats.request();
         stats.request();
-        let r = handle(&req(ReqBody::Stats), &session, &stats);
+        let r = handle(&req(ReqBody::Stats), &session, &stats, None);
         match r.body {
             RespBody::Stats(w) => {
                 assert_eq!(w.requests, 2);
@@ -194,5 +222,48 @@ mod tests {
             }
             other => panic!("expected stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_without_a_dir_is_a_typed_error() {
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(2);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        let r = handle(&req(ReqBody::Checkpoint), &session, &stats, None);
+        match r.body {
+            RespBody::Error(code, msg) => {
+                assert_eq!(code, crate::proto::StatusCode::Internal);
+                assert!(msg.contains("checkpoint-dir"), "msg: {msg}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_writes_a_restorable_generation() {
+        let dir =
+            std::env::temp_dir().join(format!("pnbserver-handler-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(2);
+        let session = map.pin();
+        let stats = ServerStats::default();
+        for k in 0..100u64 {
+            session.insert(k * 3, k);
+        }
+        let r = handle(&req(ReqBody::Checkpoint), &session, &stats, Some(&dir));
+        match r.body {
+            RespBody::CheckpointDone {
+                generation,
+                entries,
+            } => {
+                assert_eq!(generation, 1);
+                assert_eq!(entries, 100);
+            }
+            other => panic!("expected checkpoint-done, got {other:?}"),
+        }
+        let restored: ShardedPnbBst<u64, u64> =
+            ShardedPnbBst::restore(&dir).expect("restore what the handler wrote");
+        assert_eq!(restored.len(), 100);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -41,7 +41,7 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ClientError, NetMap, NetSession};
+pub use client::{Client, ClientError, NetMap, NetSession, RangeReply};
 pub use codec::{
     decode_request, decode_response, encode_request, encode_response, DecodeError, Frame, FrameBuf,
 };

@@ -81,6 +81,12 @@ pub enum Opcode {
     /// Server counters: empty payload; response is the stats block
     /// (see `RespBody::Stats`).
     Stats = 0x08,
+    /// Write a durable checkpoint of the map to the server's
+    /// `--checkpoint-dir`: empty payload; response `generation:u64` +
+    /// `entries:u64` (see `RespBody::CheckpointDone`). Refused with
+    /// [`StatusCode::Internal`] when the server has no checkpoint
+    /// directory configured.
+    Checkpoint = 0x09,
 }
 
 impl Opcode {
@@ -97,6 +103,7 @@ impl Opcode {
             0x06 => Opcode::Range,
             0x07 => Opcode::SnapshotScan,
             0x08 => Opcode::Stats,
+            0x09 => Opcode::Checkpoint,
             _ => return None,
         })
     }
@@ -225,6 +232,8 @@ pub enum ReqBody {
     },
     /// Server counters.
     Stats,
+    /// Write a durable checkpoint to the server's checkpoint directory.
+    Checkpoint,
 }
 
 impl ReqBody {
@@ -240,6 +249,7 @@ impl ReqBody {
             ReqBody::Range { .. } => Opcode::Range,
             ReqBody::SnapshotScan { .. } => Opcode::SnapshotScan,
             ReqBody::Stats => Opcode::Stats,
+            ReqBody::Checkpoint => Opcode::Checkpoint,
         }
     }
 }
@@ -285,6 +295,14 @@ pub enum RespBody {
     },
     /// Stats reply.
     Stats(ServerStatsWire),
+    /// Checkpoint reply: the committed generation and how many entries
+    /// it holds.
+    CheckpointDone {
+        /// The generation number the checkpoint committed as.
+        generation: u64,
+        /// Total entries written across all shard segments.
+        entries: u64,
+    },
     /// Error frame: status plus human-readable message.
     Error(
         /// Status code (never `Ok`).
@@ -317,11 +335,11 @@ mod tests {
 
     #[test]
     fn opcode_bytes_roundtrip() {
-        for b in 0u8..=0x08 {
-            let op = Opcode::from_u8(b).expect("0x00..=0x08 are assigned");
+        for b in 0u8..=0x09 {
+            let op = Opcode::from_u8(b).expect("0x00..=0x09 are assigned");
             assert_eq!(op as u8, b);
         }
-        assert_eq!(Opcode::from_u8(0x09), None);
+        assert_eq!(Opcode::from_u8(0x0A), None);
         assert_eq!(Opcode::from_u8(0xff), None);
     }
 
@@ -348,5 +366,6 @@ mod tests {
             Opcode::Range
         );
         assert_eq!(ReqBody::Stats.opcode(), Opcode::Stats);
+        assert_eq!(ReqBody::Checkpoint.opcode(), Opcode::Checkpoint);
     }
 }

@@ -31,6 +31,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -58,6 +59,16 @@ pub struct ServerConfig {
     pub max_payload: usize,
     /// How long workers keep serving after shutdown is signalled.
     pub drain_grace: Duration,
+    /// Where the `Checkpoint` opcode writes its generations; `None`
+    /// refuses the opcode with a typed error.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load the map from the newest committed checkpoint in
+    /// `checkpoint_dir` at bind time instead of starting empty. The
+    /// restored checkpoint's shard count and partitioner configuration
+    /// win over [`shards`](Self::shards). Fails loudly (bind error) when
+    /// no loadable checkpoint exists — a silently empty restore would
+    /// masquerade as data loss.
+    pub restore: bool,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +79,8 @@ impl Default for ServerConfig {
             refresh_every: 256,
             max_payload: MAX_PAYLOAD,
             drain_grace: Duration::from_millis(200),
+            checkpoint_dir: None,
+            restore: false,
         }
     }
 }
@@ -117,11 +130,23 @@ impl Server {
     /// map; no thread runs until [`run`](Self::run).
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Self> {
         assert!(cfg.shards > 0, "a server needs at least one shard");
+        let map = if cfg.restore {
+            let dir = cfg.checkpoint_dir.as_deref().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--restore requires --checkpoint-dir",
+                )
+            })?;
+            ShardedPnbBst::restore(dir)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        } else {
+            ShardedPnbBst::new(cfg.shards)
+        };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
-            map: ShardedPnbBst::new(cfg.shards),
+            map,
             cfg,
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -285,7 +310,12 @@ fn worker_loop(
                             match decode_request(&frame) {
                                 Ok(req) => {
                                     stats.request();
-                                    let resp = handle(&req, &session, stats);
+                                    let resp = handle(
+                                        &req,
+                                        &session,
+                                        stats,
+                                        cfg.checkpoint_dir.as_deref(),
+                                    );
                                     conn.queue(&encode_response(req.body.opcode(), &resp));
                                     ops_since_refresh += 1;
                                 }

@@ -54,14 +54,22 @@ fn ranges_and_snapshots_over_the_wire() {
         assert!(c.insert(k * 10, k).unwrap());
     }
     assert_eq!(c.range_count(0, u64::MAX).unwrap(), 500);
-    let (entries, count) = c.range_entries(100, 200).unwrap();
-    assert_eq!(count, 11); // 100..=200 step 10
-    assert_eq!(entries.len(), 11);
-    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
-    assert_eq!(entries[0], (100, 10));
-    let (snap, snap_count) = c.snapshot_entries(100, 200).unwrap();
-    assert_eq!(snap_count, 11);
-    assert_eq!(snap, entries, "quiescent: snapshot equals live range");
+    let reply = c.range_entries(100, 200).unwrap();
+    assert_eq!(reply.count, 11); // 100..=200 step 10
+    assert_eq!(reply.entries.len(), 11);
+    assert!(!reply.truncated, "11 entries is far below the cap");
+    assert!(
+        reply.entries.windows(2).all(|w| w[0].0 < w[1].0),
+        "ascending"
+    );
+    assert_eq!(reply.entries[0], (100, 10));
+    let snap = c.snapshot_entries(100, 200).unwrap();
+    assert_eq!(snap.count, 11);
+    assert!(!snap.truncated);
+    assert_eq!(
+        snap.entries, reply.entries,
+        "quiescent: snapshot equals live range"
+    );
     shutdown.signal();
     join.join().unwrap().unwrap();
 }
@@ -179,6 +187,80 @@ fn netmap_drives_the_open_loop_engine() {
 
     shutdown.signal();
     join.join().unwrap().unwrap();
+}
+
+#[test]
+fn checkpoint_then_restore_restarts_with_state() {
+    let dir = std::env::temp_dir().join(format!("pnb_e2e_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: load, checkpoint over the wire, drain.
+    let cfg = ServerConfig {
+        shards: 4,
+        workers: 2,
+        drain_grace: Duration::from_millis(100),
+        checkpoint_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let (addr, shutdown, join) = Server::bind("127.0.0.1:0", cfg.clone())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut c = Client::connect(addr).expect("connect");
+    for k in 0..300u64 {
+        assert!(c.insert(k * 7, k).unwrap());
+    }
+    let (generation, entries) = c.checkpoint().expect("checkpoint over the wire");
+    assert_eq!(generation, 1);
+    assert_eq!(entries, 300);
+    // Mutations after the checkpoint must NOT survive the restart.
+    for k in 0..100u64 {
+        assert!(c.delete(k * 7).unwrap());
+    }
+    shutdown.signal();
+    join.join().unwrap().unwrap();
+
+    // Second life: restore and verify the checkpointed cut, exactly.
+    let cfg2 = ServerConfig {
+        restore: true,
+        ..cfg
+    };
+    let (addr2, shutdown2, join2) = Server::bind("127.0.0.1:0", cfg2)
+        .expect("bind restored")
+        .spawn()
+        .expect("spawn restored");
+    let mut c2 = Client::connect(addr2).expect("connect restored");
+    assert_eq!(c2.range_count(0, u64::MAX).unwrap(), 300);
+    assert_eq!(c2.get(0).unwrap(), Some(0), "pre-checkpoint key is back");
+    let reply = c2.range_entries(0, 70).unwrap();
+    assert_eq!(
+        reply.entries,
+        (0..=10u64).map(|k| (k * 7, k)).collect::<Vec<_>>()
+    );
+    shutdown2.signal();
+    join2.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_without_a_checkpoint_fails_loudly() {
+    let dir = std::env::temp_dir().join(format!("pnb_e2e_nockpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        restore: true,
+        ..Default::default()
+    };
+    let err = match Server::bind("127.0.0.1:0", cfg) {
+        Ok(_) => panic!("empty dir must not restore"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("no loadable committed checkpoint"),
+        "got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

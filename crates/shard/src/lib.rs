@@ -88,6 +88,7 @@
 mod map;
 mod merge;
 mod partition;
+mod persist;
 mod session;
 mod snapshot;
 mod stats;
@@ -95,6 +96,8 @@ mod stats;
 pub use map::ShardedPnbBst;
 pub use merge::MergeRange;
 pub use partition::{HashPartitioner, Partitioner, RangePrefixPartitioner};
+pub use persist::PersistentPartitioner;
+pub use pnb_bst::persist::{CheckpointError, CheckpointReport};
 pub use session::ShardedSession;
 pub use snapshot::ShardedSnapshot;
 pub use stats::{load_imbalance, ShardOpStats};

@@ -167,7 +167,7 @@ impl IntervalLogConfig {
 /// histograms, diff against the previous cumulative snapshot, and append
 /// one JSONL row describing *that interval* — `t_secs` (end of interval,
 /// relative to the start line), `achieved_rate` (completions/sec within
-/// the interval) and `p99_ns` (p99 of the interval's samples). A final
+/// the interval), `p50_ns` and `p99_ns` (of the interval's samples). A final
 /// partial-interval row is emitted at shutdown so the tail is never
 /// dropped. IO failures are reported to stderr and disable logging
 /// rather than aborting the measurement.
@@ -220,9 +220,10 @@ fn interval_reporter(
         // it only when it holds no samples at all.
         if !(finishing && interval.is_empty()) && dt > 0.0 {
             let row = format!(
-                "{{\"t_secs\": {:.3}, \"achieved_rate\": {:.1}, \"p99_ns\": {}}}\n",
+                "{{\"t_secs\": {:.3}, \"achieved_rate\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}\n",
                 (now - t0).as_secs_f64(),
                 interval.len() as f64 / dt,
+                interval.value_at_percentile(0.50).unwrap_or(0),
                 interval.value_at_percentile(0.99).unwrap_or(0),
             );
             if let Err(e) = file.write_all(row.as_bytes()) {
@@ -260,7 +261,7 @@ pub struct OpenLoopConfig {
     pub seed: u64,
     /// Optional per-interval timeseries log: while the run is live, a
     /// reporter thread appends one JSONL row per interval —
-    /// `{"t_secs": …, "achieved_rate": …, "p99_ns": …}` — computed from
+    /// `{"t_secs": …, "achieved_rate": …, "p50_ns": …, "p99_ns": …}` — computed from
     /// the *difference* of consecutive cumulative histogram snapshots,
     /// so each row describes that interval alone (a saturation collapse
     /// shows up in its own rows instead of being averaged away). Used
@@ -788,7 +789,12 @@ mod tests {
         let mut prev_t = 0.0f64;
         for row in &rows {
             assert!(row.starts_with('{') && row.ends_with('}'), "bad row {row}");
-            for field in ["\"t_secs\"", "\"achieved_rate\"", "\"p99_ns\""] {
+            for field in [
+                "\"t_secs\"",
+                "\"achieved_rate\"",
+                "\"p50_ns\"",
+                "\"p99_ns\"",
+            ] {
                 assert!(row.contains(field), "{field} missing from {row}");
             }
             let t: f64 = row

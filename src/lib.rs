@@ -12,7 +12,9 @@
 //! * [`ShardedPnbBst`] / [`ShardedSnapshot`] — the sharded front-end
 //!   (crate `pnb-shard`): key-space partitioning over independent
 //!   PNB-BSTs with cross-shard consistent range queries and snapshots,
-//!   routed by a pluggable [`Partitioner`].
+//!   routed by a pluggable [`Partitioner`]. Both maps also support
+//!   durable checkpoints (`checkpoint`/`restore`, DESIGN §9) with a
+//!   typed [`CheckpointError`] on torn or corrupt on-disk state.
 //! * [`NbBst`] — the PODC 2010 substrate it extends (crate `nb-bst`).
 //! * [`RwLockTree`] / [`MutexTree`] / [`SeqBst`] — baselines (crate
 //!   `lock-bst`).
@@ -38,10 +40,12 @@ struct ReadmeDoctests;
 pub use lock_bst::seq::SeqBst;
 pub use lock_bst::{MutexTree, RwLockTree};
 pub use nb_bst::NbBst;
-pub use pnb_bst::{Handle, PnbBst, PnbBstSet, Range, Snapshot, StatsSnapshot};
+pub use pnb_bst::{
+    CheckpointError, CheckpointReport, Handle, PnbBst, PnbBstSet, Range, Snapshot, StatsSnapshot,
+};
 pub use pnb_shard::{
-    HashPartitioner, MergeRange, Partitioner, RangePrefixPartitioner, ShardedPnbBst,
-    ShardedSession, ShardedSnapshot,
+    HashPartitioner, MergeRange, Partitioner, PersistentPartitioner, RangePrefixPartitioner,
+    ShardedPnbBst, ShardedSession, ShardedSnapshot,
 };
 
 pub use pnb_server;
