@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# CI chaos-smoke gate: the failure contract, end to end, with real
+# processes and real faults.
+#
+#   1. boot pnb-server (with --checkpoint-dir) and a pnb-chaos proxy in
+#      front of it injecting seeded delays, splits, and connection
+#      resets;
+#   2. run `pnb-load --fill N` THROUGH the proxy: the self-healing
+#      client must retry through every injected reset and ack all N
+#      inserts, and the server's direct full-range count must equal the
+#      acknowledged number — zero lost acknowledged ops;
+#   3. checkpoint, then kill -9 the server under read-only load (still
+#      through the proxy) and restart it with --restore on the SAME
+#      address: the load driver must ride through the restart via
+#      reconnect+retry and exit 0, and the restored count must still be
+#      exactly N.
+#
+# Faults here are delay/split/reset only: corruption and truncation are
+# covered deterministically in `tests/chaos.rs`; in a wall-clock-bounded
+# smoke they would only add client-side read-timeout stalls.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fill_n=2000
+
+workdir=$(mktemp -d)
+server_pid=""
+proxy_pid=""
+load_pid=""
+cleanup() {
+    for pid in "$load_pid" "$proxy_pid" "$server_pid"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building pnb-server + pnb-load + pnb-chaos (release) =="
+cargo build --release --locked -p pnb-server --bins
+
+boot_server() { # boot_server <addr> <extra flags...>; sets $server_pid and $server_addr
+    local want_addr=$1
+    shift
+    local addr_file="$workdir/server_addr"
+    # A restart races the kernel releasing the old bind: retry the boot
+    # on the same fixed address until it sticks (transient EADDRINUSE).
+    for attempt in $(seq 1 50); do
+        rm -f "$addr_file"
+        ./target/release/pnb-server --addr "$want_addr" --shards 4 --workers 2 \
+            --addr-file "$addr_file" --checkpoint-dir "$workdir/ckpt" "$@" \
+            >>"$workdir/server.log" 2>&1 &
+        server_pid=$!
+        for _ in $(seq 1 100); do
+            [[ -s "$addr_file" ]] && break
+            kill -0 "$server_pid" 2>/dev/null || break
+            sleep 0.1
+        done
+        [[ -s "$addr_file" ]] && break
+        wait "$server_pid" 2>/dev/null || true
+        server_pid=""
+        sleep 0.2
+    done
+    if [[ ! -s "$addr_file" ]]; then
+        echo "server never bound $want_addr:" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    server_addr=$(cat "$addr_file")
+}
+
+echo "== boot server + chaos proxy (seeded delays, splits, resets) =="
+boot_server 127.0.0.1:0
+echo "   server at $server_addr"
+proxy_addr_file="$workdir/proxy_addr"
+./target/release/pnb-chaos --upstream "$server_addr" --addr 127.0.0.1:0 \
+    --addr-file "$proxy_addr_file" --seed 20190622 \
+    --delay-prob 0.02 --delay-ms 3 --split-prob 0.05 --reset-prob 0.03 \
+    >"$workdir/proxy.log" 2>&1 &
+proxy_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$proxy_addr_file" ]] && break
+    if ! kill -0 "$proxy_pid" 2>/dev/null; then
+        echo "proxy died before binding:" >&2
+        cat "$workdir/proxy.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -s "$proxy_addr_file" ]] || { echo "proxy never wrote --addr-file" >&2; exit 1; }
+proxy_addr=$(cat "$proxy_addr_file")
+echo "   proxy at $proxy_addr -> $server_addr"
+
+echo "== fill $fill_n keys through the faulty proxy =="
+fill_line=$(./target/release/pnb-load --addr "$proxy_addr" --fill "$fill_n" \
+    --retry-deadline-ms 20000 --seed 1)
+echo "   $fill_line"
+acked=$(sed 's/.*acked=\([0-9]*\).*/\1/' <<<"$fill_line")
+if [[ "$acked" != "$fill_n" ]]; then
+    echo "fill acked only $acked of $fill_n through the proxy" >&2
+    exit 1
+fi
+
+echo "== zero lost acknowledged ops: direct count must equal acked =="
+c1=$(./target/release/pnb-load --addr "$server_addr" --count | sed 's/.*count=//')
+echo "   server count: $c1 (acked: $acked)"
+if [[ "$c1" != "$acked" ]]; then
+    echo "lost acknowledged mutations: acked $acked, server holds $c1" >&2
+    exit 1
+fi
+
+echo "== checkpoint, then kill -9 under read-only load through the proxy =="
+./target/release/pnb-load --addr "$server_addr" --checkpoint-now >/dev/null
+# Find-only (prefill 0 => no writes): content stays frozen at the
+# checkpoint cut, and the self-healing client must reconnect-and-retry
+# straight through the restart below without a single failed call.
+./target/release/pnb-load --addr "$proxy_addr" --threads 2 --rate 2000 \
+    --duration-ms 8000 --keys "$fill_n" --mix find --prefill 0 \
+    --retry-deadline-ms 20000 >"$workdir/load.log" 2>&1 &
+load_pid=$!
+sleep 1
+kill -KILL "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+sleep 0.5
+boot_server "$server_addr" --restore
+echo "   restored at $server_addr"
+
+echo "== the riding load must finish cleanly across the restart =="
+if ! wait "$load_pid"; then
+    echo "read-only load failed across the kill/restart:" >&2
+    cat "$workdir/load.log" >&2
+    exit 1
+fi
+load_pid=""
+grep -q "achieved" "$workdir/load.log"
+
+echo "== restored count must still be exactly $fill_n =="
+c2=$(./target/release/pnb-load --addr "$server_addr" --count | sed 's/.*count=//')
+echo "   count after restore: $c2"
+if [[ "$c2" != "$fill_n" ]]; then
+    echo "restore lost acknowledged fills: expected $fill_n, got $c2" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+
+echo "== graceful teardown =="
+kill -TERM "$proxy_pid"
+wait "$proxy_pid" 2>/dev/null || true
+proxy_pid=""
+kill -TERM "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+grep -q "drained, bye" "$workdir/server.log"
+
+echo "chaos-smoke: OK ($fill_n acked fills survived faults and a kill -9)"

@@ -1,0 +1,150 @@
+//! `pnb-chaos` — a fault-injecting TCP proxy for `pnb-server`.
+//!
+//! ```text
+//! pnb-chaos --upstream HOST:PORT [--addr 127.0.0.1:0] [--addr-file PATH]
+//!           [--seed 0] [--delay-prob F] [--delay-ms N] [--split-prob F]
+//!           [--corrupt-prob F] [--truncate-prob F] [--reset-prob F]
+//! ```
+//!
+//! Sits between a client and a server, forwarding bytes while
+//! injecting delays, partial writes, frame truncation, byte corruption,
+//! and connection resets from a seeded deterministic plan (see
+//! `pnb_server::chaos`). With all probabilities at their zero defaults
+//! it is a faithful pass-through. `ci/chaos_smoke.sh` drives `pnb-load`
+//! through this proxy to prove the failure contract end to end.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pnb_server::{ChaosConfig, ChaosProxy};
+
+/// Set from the signal handler; polled by main. Relaxed is enough: the
+/// flag is the only thing communicated.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)` from the platform libc — declared directly so the
+    /// offline workspace needs no `libc` crate. `sighandler_t` is a
+    /// plain function pointer, passed as `usize`.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` is async-signal-safe (one relaxed atomic
+    // store) and has the C signature `signal` expects.
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pnb-chaos --upstream HOST:PORT [--addr HOST:PORT] [--addr-file PATH] \
+         [--seed N] [--delay-prob F] [--delay-ms N] [--split-prob F] \
+         [--corrupt-prob F] [--truncate-prob F] [--reset-prob F]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut upstream = String::new();
+    let mut addr_file: Option<String> = None;
+    let mut cfg = ChaosConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => listen = take("--addr"),
+            "--upstream" => upstream = take("--upstream"),
+            "--addr-file" => addr_file = Some(take("--addr-file")),
+            "--seed" => cfg.seed = parse(&take("--seed"), "--seed"),
+            "--delay-prob" => cfg.delay_prob = parse(&take("--delay-prob"), "--delay-prob"),
+            "--delay-ms" => cfg.delay_ms = parse(&take("--delay-ms"), "--delay-ms"),
+            "--split-prob" => cfg.split_prob = parse(&take("--split-prob"), "--split-prob"),
+            "--corrupt-prob" => cfg.corrupt_prob = parse(&take("--corrupt-prob"), "--corrupt-prob"),
+            "--truncate-prob" => {
+                cfg.truncate_prob = parse(&take("--truncate-prob"), "--truncate-prob")
+            }
+            "--reset-prob" => cfg.reset_prob = parse(&take("--reset-prob"), "--reset-prob"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if upstream.is_empty() {
+        eprintln!("--upstream is required");
+        usage();
+    }
+
+    let proxy = match ChaosProxy::bind(listen.as_str(), upstream.as_str(), cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pnb-chaos: cannot bind {listen} in front of {upstream}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = proxy.local_addr().expect("bound listener has an address");
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, bound.to_string()) {
+            eprintln!("pnb-chaos: cannot write --addr-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "pnb-chaos proxying {bound} -> {upstream} (seed {})",
+        cfg.seed
+    );
+
+    install_signal_handlers();
+    let (_, shutdown, join) = match proxy.spawn() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("pnb-chaos: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    while !SHUTDOWN.load(Ordering::Relaxed) && !join.is_finished() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    shutdown.signal();
+    match join.join() {
+        Ok(Ok(())) => {
+            println!("pnb-chaos: bye");
+            ExitCode::SUCCESS
+        }
+        Ok(Err(e)) => {
+            eprintln!("pnb-chaos: listener error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(_) => {
+            eprintln!("pnb-chaos: proxy thread panicked");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {name} value: {s}");
+        usage();
+    })
+}

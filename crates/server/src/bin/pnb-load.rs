@@ -8,7 +8,16 @@
 //!          [--json PATH] [--interval-log PATH]
 //! pnb-load --addr HOST:PORT --checkpoint-now
 //! pnb-load --addr HOST:PORT --count
+//! pnb-load --addr HOST:PORT --fill N
 //! ```
+//!
+//! `--retry-deadline-ms` and `--retry-mutations` configure the
+//! self-healing connection layer (see `pnb_server::retry`): transient
+//! resets and `Busy` shedding are retried inside each call's deadline
+//! budget, with the retry time landing in the measured latency. Every
+//! failure path exits nonzero with a one-line typed message — a panic
+//! hook turns even a worker-thread failure into one line, not a
+//! backtrace.
 //!
 //! Reuses `workload::run_open_loop` over the [`pnb_server::NetMap`]
 //! adapter: arrivals on a fixed schedule, latency measured from each
@@ -30,7 +39,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pnb_server::NetMap;
+use pnb_server::{NetMap, ReconnectingClient, RetryPolicy};
 use workload::json::{JsonLog, Val};
 use workload::{run_open_loop, IntervalLogConfig, KeyDist, Mix, OpenLoopConfig};
 
@@ -39,10 +48,28 @@ fn usage() -> ! {
         "usage: pnb-load --addr HOST:PORT [--threads N] [--rate OPS_PER_SEC] \
          [--duration-ms MS] [--keys N] [--dist scrambled-zipf|zipf|uniform] \
          [--theta F] [--mix point|range|update|find] [--prefill F] [--seed N] \
-         [--json PATH] [--interval-log PATH]\n\
-         \x20      pnb-load --addr HOST:PORT --checkpoint-now | --count"
+         [--json PATH] [--interval-log PATH] \
+         [--retry-deadline-ms MS] [--retry-mutations]\n\
+         \x20      pnb-load --addr HOST:PORT --checkpoint-now | --count | --fill N"
     );
     std::process::exit(2);
+}
+
+/// Turn any panic — the `NetMap` sessions fail loudly on final
+/// transport errors, including from worker threads — into a one-line
+/// typed message and a nonzero exit, never a backtrace.
+fn install_panic_hook() {
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown failure".to_string());
+        // One line, no location, no backtrace: scripts grep this.
+        eprintln!("pnb-load: fatal: {msg}");
+        std::process::exit(1);
+    }));
 }
 
 struct Opts {
@@ -60,6 +87,9 @@ struct Opts {
     interval_log: Option<String>,
     checkpoint_now: bool,
     count: bool,
+    fill: Option<u64>,
+    retry_deadline: Duration,
+    retry_mutations: bool,
 }
 
 impl Default for Opts {
@@ -79,6 +109,9 @@ impl Default for Opts {
             interval_log: None,
             checkpoint_now: false,
             count: false,
+            fill: None,
+            retry_deadline: Duration::from_secs(10),
+            retry_mutations: false,
         }
     }
 }
@@ -110,6 +143,14 @@ fn parse_args() -> Opts {
             "--interval-log" => o.interval_log = Some(take("--interval-log")),
             "--checkpoint-now" => o.checkpoint_now = true,
             "--count" => o.count = true,
+            "--fill" => o.fill = Some(parse(&take("--fill"), "--fill")),
+            "--retry-deadline-ms" => {
+                o.retry_deadline = Duration::from_millis(parse(
+                    &take("--retry-deadline-ms"),
+                    "--retry-deadline-ms",
+                ))
+            }
+            "--retry-mutations" => o.retry_mutations = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -129,6 +170,52 @@ fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
         eprintln!("cannot parse {name} value: {s}");
         usage();
     })
+}
+
+impl Opts {
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            call_deadline: self.retry_deadline,
+            retry_mutations: self.retry_mutations,
+            seed: self.seed,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// `--fill N`: insert keys `0..N` through the self-healing client
+/// (set-semantics inserts are safe to retry, so mutation retries are
+/// forced on) and report how many were acknowledged. The chaos smoke
+/// drives this through faults and then checks the server's count
+/// against the acknowledged number — zero lost acknowledged ops.
+fn run_fill(o: &Opts, n: u64) -> ExitCode {
+    let addr = match o.addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pnb-load: bad --addr {}: {e}", o.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut c = ReconnectingClient::with_policy(
+        addr,
+        RetryPolicy {
+            retry_mutations: true,
+            ..o.policy()
+        },
+    );
+    let mut acked = 0u64;
+    for k in 0..n {
+        match c.insert(k, k) {
+            Ok(_) => acked += 1,
+            Err(e) => {
+                eprintln!("pnb-load: fill stopped at key {k}: {e}");
+                println!("pnb-load: fill acked={acked} of {n}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("pnb-load: fill acked={acked} of {n}");
+    ExitCode::SUCCESS
 }
 
 /// One-shot administrative modes (`--checkpoint-now`, `--count`): a
@@ -165,7 +252,11 @@ fn run_one_shot(o: &Opts) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    install_panic_hook();
     let o = parse_args();
+    if let Some(n) = o.fill {
+        return run_fill(&o, n);
+    }
     if o.checkpoint_now || o.count {
         return run_one_shot(&o);
     }
@@ -193,7 +284,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let map = match NetMap::connect(o.addr.as_str()) {
+    let map = match NetMap::connect_with_policy(o.addr.as_str(), o.policy()) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("pnb-load: cannot reach {}: {e}", o.addr);

@@ -4,6 +4,8 @@
 //! pnb-server [--addr 127.0.0.1:7878] [--shards 8] [--workers 0]
 //!            [--refresh-every 256] [--addr-file PATH]
 //!            [--checkpoint-dir PATH] [--restore]
+//!            [--max-inflight N] [--max-queued-kb N]
+//!            [--conn-write-cap-kb N] [--stall-ms N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--addr-file` writes
@@ -18,6 +20,12 @@
 //! startup — the restored shard count and partitioner configuration
 //! override `--shards`. Restoring from a directory with no loadable
 //! checkpoint is a startup failure, not an empty map.
+//!
+//! The `--max-inflight` / `--max-queued-kb` / `--conn-write-cap-kb` /
+//! `--stall-ms` flags tune the per-worker admission limits and the
+//! slow-reader policy (DESIGN.md §10); requests past the limits are
+//! answered with typed `Busy` frames, and connections that stay over
+//! their write cap longer than the stall window are disconnected.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,7 +64,8 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: pnb-server [--addr HOST:PORT] [--shards N] [--workers N] \
-         [--refresh-every N] [--addr-file PATH] [--checkpoint-dir PATH] [--restore]"
+         [--refresh-every N] [--addr-file PATH] [--checkpoint-dir PATH] [--restore] \
+         [--max-inflight N] [--max-queued-kb N] [--conn-write-cap-kb N] [--stall-ms N]"
     );
     std::process::exit(2);
 }
@@ -81,6 +90,21 @@ fn main() -> ExitCode {
                 cfg.checkpoint_dir = Some(std::path::PathBuf::from(take("--checkpoint-dir")))
             }
             "--restore" => cfg.restore = true,
+            "--max-inflight" => {
+                cfg.admission.max_inflight = parse(&take("--max-inflight"), "--max-inflight")
+            }
+            "--max-queued-kb" => {
+                cfg.admission.max_queued_bytes =
+                    parse::<usize>(&take("--max-queued-kb"), "--max-queued-kb") * 1024
+            }
+            "--conn-write-cap-kb" => {
+                cfg.admission.max_conn_pending_write =
+                    parse::<usize>(&take("--conn-write-cap-kb"), "--conn-write-cap-kb") * 1024
+            }
+            "--stall-ms" => {
+                cfg.admission.stall_window =
+                    Duration::from_millis(parse(&take("--stall-ms"), "--stall-ms"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -1,0 +1,355 @@
+//! Fault-injection harness: [`ChaosProxy`] is a TCP proxy that sits
+//! between a client and a `pnb-server`, forwarding bytes while
+//! injecting faults from a seeded plan — delays, partial writes, frame
+//! truncation, byte corruption, and connection resets.
+//!
+//! The point is to *prove* the failure contract end to end: under any
+//! seeded fault plan, a client call must end with either the response
+//! or a typed error — never a hang, and never a lost **acknowledged**
+//! mutation (one whose response the client actually received).
+//! `tests/chaos.rs` runs those proofs; the `pnb-chaos` binary exposes
+//! the same proxy for `ci/chaos_smoke.sh` and manual runs.
+//!
+//! Fault rolls come from per-direction `splitmix64` streams derived
+//! from [`ChaosConfig::seed`], the connection index, and the direction
+//! — so one seed reproduces one exact fault plan, independent of
+//! thread interleaving.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use workload::seed::{splitmix64, worker_seed};
+
+use crate::server::ShutdownHandle;
+
+/// Fault probabilities (per forwarded chunk) and shapes. All default to
+/// zero: a default proxy is a faithful pass-through.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault streams.
+    pub seed: u64,
+    /// Probability of holding a chunk for [`delay_ms`](Self::delay_ms).
+    pub delay_prob: f64,
+    /// How long a delayed chunk is held.
+    pub delay_ms: u64,
+    /// Probability of splitting a chunk into two writes with a short
+    /// pause between them (exercises partial-read/partial-write paths;
+    /// byte-preserving).
+    pub split_prob: f64,
+    /// Probability of flipping one byte in a chunk (the receiver must
+    /// answer with a typed protocol error, not hang or crash).
+    pub corrupt_prob: f64,
+    /// Probability of forwarding only a prefix of a chunk and then
+    /// closing both directions — a mid-frame cut.
+    pub truncate_prob: f64,
+    /// Probability of closing the connection abruptly (both directions,
+    /// nothing forwarded) — the proxy's stand-in for a reset.
+    pub reset_prob: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            delay_prob: 0.0,
+            delay_ms: 10,
+            split_prob: 0.0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            reset_prob: 0.0,
+        }
+    }
+}
+
+/// One deterministic fault stream (per connection × direction).
+#[derive(Debug)]
+struct FaultStream {
+    cfg: ChaosConfig,
+    state: u64,
+}
+
+/// What to do with one forwarded chunk.
+#[derive(Debug, PartialEq)]
+enum Fault {
+    None,
+    Delay(Duration),
+    Split,
+    Corrupt { offset: usize, mask: u8 },
+    Truncate { keep: usize },
+    Reset,
+}
+
+impl FaultStream {
+    fn new(cfg: ChaosConfig, conn: u64, dir: u64) -> Self {
+        FaultStream {
+            cfg,
+            state: worker_seed(cfg.seed, conn * 2 + dir),
+        }
+    }
+
+    fn roll(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(1);
+        (splitmix64(self.state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide this chunk's fate. Checks are ordered most-destructive
+    /// first; at most one fault per chunk.
+    fn next(&mut self, chunk_len: usize) -> Fault {
+        if self.roll() < self.cfg.reset_prob {
+            return Fault::Reset;
+        }
+        if self.roll() < self.cfg.truncate_prob {
+            // Keep a strict prefix (possibly empty): a genuine mid-frame
+            // cut, not a clean boundary.
+            let keep = (splitmix64(self.state) as usize) % chunk_len.max(1);
+            return Fault::Truncate { keep };
+        }
+        if self.roll() < self.cfg.corrupt_prob {
+            let r = splitmix64(self.state ^ 0x9e37);
+            return Fault::Corrupt {
+                offset: (r as usize) % chunk_len.max(1),
+                // A nonzero mask guarantees the byte actually changes.
+                mask: ((r >> 32) as u8) | 1,
+            };
+        }
+        if self.roll() < self.cfg.split_prob {
+            return Fault::Split;
+        }
+        if self.roll() < self.cfg.delay_prob {
+            return Fault::Delay(Duration::from_millis(self.cfg.delay_ms));
+        }
+        Fault::None
+    }
+}
+
+/// The proxy: bind, then [`run`](Self::run) (blocking) or
+/// [`spawn`](Self::spawn). Every accepted connection gets its own
+/// upstream connection and a pair of shuttle threads (one per
+/// direction) applying the seeded fault plan chunk by chunk.
+pub struct ChaosProxy {
+    listener: TcpListener,
+    upstream: SocketAddr,
+    cfg: ChaosConfig,
+    shutdown: ShutdownHandle,
+}
+
+impl ChaosProxy {
+    /// Bind the listening side (port 0 for ephemeral) in front of
+    /// `upstream`.
+    pub fn bind(
+        listen: impl ToSocketAddrs,
+        upstream: impl ToSocketAddrs,
+        cfg: ChaosConfig,
+    ) -> io::Result<Self> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "upstream resolved empty")
+        })?;
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        Ok(ChaosProxy {
+            listener,
+            upstream,
+            cfg,
+            shutdown: ShutdownHandle::fresh(),
+        })
+    }
+
+    /// The proxy's listening address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A trigger that makes [`run`](Self::run) stop accepting, tear
+    /// down the shuttles, and return.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Accept and shuttle until shutdown is signalled.
+    pub fn run(self) -> io::Result<()> {
+        let mut conn_idx = 0u64;
+        let mut shuttles = Vec::new();
+        while !self.shutdown.is_signalled() {
+            match self.listener.accept() {
+                Ok((down, _peer)) => {
+                    match TcpStream::connect_timeout(&self.upstream, Duration::from_secs(5)) {
+                        Ok(up) => {
+                            shuttles.extend(spawn_pair(
+                                down,
+                                up,
+                                self.cfg,
+                                conn_idx,
+                                self.shutdown.clone(),
+                            ));
+                            conn_idx += 1;
+                        }
+                        // Upstream down: refuse by dropping `down` —
+                        // the client sees EOF and (re)tries.
+                        Err(_) => drop(down),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Shuttle threads poll the same flag via read timeouts; give
+        // them their exit.
+        for j in shuttles {
+            let _ = j.join();
+        }
+        Ok(())
+    }
+
+    /// Run on a fresh thread; returns the listening address, the
+    /// shutdown trigger, and the join handle.
+    pub fn spawn(
+        self,
+    ) -> io::Result<(
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<io::Result<()>>,
+    )> {
+        let addr = self.local_addr()?;
+        let handle = self.shutdown_handle();
+        let join = std::thread::spawn(move || self.run());
+        Ok((addr, handle, join))
+    }
+}
+
+/// Two shuttle threads for one proxied connection: client→server and
+/// server→client, each with its own fault stream.
+fn spawn_pair(
+    down: TcpStream,
+    up: TcpStream,
+    cfg: ChaosConfig,
+    conn_idx: u64,
+    shutdown: ShutdownHandle,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let pairs = [
+        (down.try_clone(), up.try_clone(), 0u64), // client → server
+        (up.try_clone(), down.try_clone(), 1u64), // server → client
+    ];
+    let mut joins = Vec::with_capacity(2);
+    for (src, dst, dir) in pairs {
+        let (Ok(src), Ok(dst)) = (src, dst) else {
+            // A clone failed (peer already gone): kill both sides so
+            // the half-built pair can't dangle.
+            let _ = down.shutdown(Shutdown::Both);
+            let _ = up.shutdown(Shutdown::Both);
+            break;
+        };
+        let faults = FaultStream::new(cfg, conn_idx, dir);
+        let flag = shutdown.clone();
+        joins.push(std::thread::spawn(move || {
+            shuttle(src, dst, faults, &flag);
+        }));
+    }
+    joins
+}
+
+/// Forward until EOF, error, an injected cut, or proxy shutdown.
+/// Closing both sides of *this* connection on exit keeps the sibling
+/// shuttle from waiting on a half-dead pair.
+fn shuttle(mut src: TcpStream, mut dst: TcpStream, mut faults: FaultStream, flag: &ShutdownHandle) {
+    // Short read timeout so the shutdown flag is polled even on an
+    // idle connection.
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if flag.is_signalled() {
+            break;
+        }
+        let n = match src.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        match faults.next(n) {
+            Fault::None => {
+                if dst.write_all(&chunk[..n]).is_err() {
+                    break;
+                }
+            }
+            Fault::Delay(d) => {
+                std::thread::sleep(d);
+                if dst.write_all(&chunk[..n]).is_err() {
+                    break;
+                }
+            }
+            Fault::Split => {
+                let mid = n / 2;
+                if dst.write_all(&chunk[..mid]).is_err() {
+                    break;
+                }
+                let _ = dst.flush();
+                std::thread::sleep(Duration::from_millis(1));
+                if dst.write_all(&chunk[mid..n]).is_err() {
+                    break;
+                }
+            }
+            Fault::Corrupt { offset, mask } => {
+                chunk[offset.min(n - 1)] ^= mask;
+                if dst.write_all(&chunk[..n]).is_err() {
+                    break;
+                }
+            }
+            Fault::Truncate { keep } => {
+                let _ = dst.write_all(&chunk[..keep.min(n)]);
+                break;
+            }
+            Fault::Reset => break,
+        }
+    }
+    // Tear down both directions: the peer must observe the cut, not a
+    // silent stall.
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_streams_are_deterministic_per_seed_and_direction() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            delay_prob: 0.2,
+            split_prob: 0.2,
+            corrupt_prob: 0.2,
+            truncate_prob: 0.1,
+            reset_prob: 0.1,
+            ..ChaosConfig::default()
+        };
+        let plan = |conn, dir| {
+            let mut fs = FaultStream::new(cfg, conn, dir);
+            (0..64).map(|_| fs.next(1024)).collect::<Vec<_>>()
+        };
+        assert_eq!(plan(0, 0), plan(0, 0), "same stream, same plan");
+        assert_ne!(plan(0, 0), plan(0, 1), "directions draw distinct plans");
+        assert_ne!(plan(0, 0), plan(1, 0), "connections draw distinct plans");
+        let all = plan(0, 0);
+        assert!(
+            all.iter().any(|f| !matches!(f, Fault::None)),
+            "with these probabilities, 64 rolls must hit at least one fault"
+        );
+    }
+
+    #[test]
+    fn zero_probability_config_never_faults() {
+        let mut fs = FaultStream::new(ChaosConfig::default(), 0, 0);
+        for _ in 0..256 {
+            assert_eq!(fs.next(512), Fault::None);
+        }
+    }
+}

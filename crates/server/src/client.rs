@@ -17,6 +17,12 @@ use crate::proto::{ReqBody, Request, RespBody, StatusCode};
 /// slow one without wedging a load generator forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Default per-call write timeout: a wedged peer (full socket buffers,
+/// never reading) would otherwise block `send` forever — the read
+/// timeout alone cannot catch that, because `send` never reaches the
+/// read.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// What a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
@@ -26,6 +32,24 @@ pub enum ClientError {
     Protocol(DecodeError),
     /// The server answered with a typed error frame.
     Remote(StatusCode, String),
+    /// The server shed this request with a typed `Busy` frame: the
+    /// operation was **not executed** (retrying is always safe,
+    /// mutations included), and the payload suggests how long to back
+    /// off. [`ReconnectingClient`](crate::retry::ReconnectingClient)
+    /// honours the hint automatically.
+    Busy {
+        /// Server's suggested backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A [`ReconnectingClient`](crate::retry::ReconnectingClient) call
+    /// exhausted its per-call deadline budget across retries. The last
+    /// underlying failure is included for diagnosis.
+    DeadlineExceeded {
+        /// The configured per-call budget that was exhausted.
+        budget: Duration,
+        /// Display form of the last error seen before giving up.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,6 +58,12 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Remote(code, msg) => write!(f, "server error ({code}): {msg}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
+            ClientError::DeadlineExceeded { budget, last } => {
+                write!(f, "deadline exceeded after {budget:?}; last error: {last}")
+            }
         }
     }
 }
@@ -79,17 +109,39 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect (blocking) with `TCP_NODELAY` and a read timeout of
-    /// a 30 s read timeout.
+    /// Connect (blocking) with `TCP_NODELAY` and 30 s read *and* write
+    /// timeouts — a wedged peer can hang either direction, and a load
+    /// generator must wedge on neither.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Like [`connect`](Self::connect) but bound by `timeout` for the
+    /// TCP handshake itself (plain `connect` uses the OS default, which
+    /// can be minutes against a black-holed address).
+    pub fn connect_with_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect_timeout(addr, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         Ok(Client {
             stream,
             frames: FrameBuf::new(),
             next_id: 1,
         })
+    }
+
+    /// Replace both stream timeouts (defaults: 30 s each). A fault
+    /// plan that mangles a length field leaves the client waiting for
+    /// bytes that never come — the read timeout is what turns that
+    /// into a typed [`ClientError::Io`] instead of a hang, so tests
+    /// and impatient callers can tighten it.
+    pub fn set_timeouts(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
     }
 
     /// Send `body` without waiting; returns the request id. Responses
@@ -111,6 +163,7 @@ impl Client {
                 let resp = decode_response(&frame).map_err(ClientError::Protocol)?;
                 return match resp.body {
                     RespBody::Error(code, msg) => Err(ClientError::Remote(code, msg)),
+                    RespBody::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
                     body => Ok((resp.id, body)),
                 };
             }
@@ -278,9 +331,13 @@ fn unexpected(body: &RespBody) -> ClientError {
 }
 
 /// A [`ConcurrentMap`] whose operations travel over the wire: each
-/// session owns one pooled [`Client`] connection, so the open-loop
-/// driver measures request→response round trips through the real
-/// server stack (framing, worker loop, sharded session, and back).
+/// session owns one pooled
+/// [`ReconnectingClient`](crate::retry::ReconnectingClient) connection,
+/// so the open-loop driver measures request→response round trips
+/// through the real server stack (framing, worker loop, sharded
+/// session, and back) — and survives server restarts and `Busy`
+/// shedding mid-run, with every retry's cost landing in the measured
+/// latency (see `retry.rs` for the latency-honesty contract).
 ///
 /// Sessions check connections back into the pool on drop, so repeated
 /// pin/drop cycles (as the drivers do between batches) reuse sockets
@@ -289,28 +346,43 @@ fn unexpected(body: &RespBody) -> ClientError {
 /// # Panics
 ///
 /// [`pin`](ConcurrentMap::pin) and the session operations panic on
-/// transport errors: the `MapSession` interface has no error channel,
+/// *final* errors (typed server errors, protocol breakage, exhausted
+/// retry deadlines): the `MapSession` interface has no error channel,
 /// and a load generator that silently drops failed operations would
 /// fabricate latency data — failing loudly is the honest option.
+/// Transient failures are the retry layer's job, not a panic.
 #[derive(Debug)]
 pub struct NetMap {
     addr: SocketAddr,
-    pool: Mutex<Vec<Client>>,
+    policy: crate::retry::RetryPolicy,
+    pool: Mutex<Vec<crate::retry::ReconnectingClient>>,
     count_only_scans: bool,
 }
 
 impl NetMap {
     /// Resolve `addr` and validate it with one ping; the validated
-    /// connection seeds the pool.
+    /// connection seeds the pool. Uses the default
+    /// [`RetryPolicy`](crate::retry::RetryPolicy).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_policy(addr, crate::retry::RetryPolicy::default())
+    }
+
+    /// Like [`connect`](Self::connect) with an explicit retry policy
+    /// for every pooled connection (`pnb-load` surfaces the knobs as
+    /// `--retry-deadline-ms` / `--retry-mutations`).
+    pub fn connect_with_policy(
+        addr: impl ToSocketAddrs,
+        policy: crate::retry::RetryPolicy,
+    ) -> Result<Self, ClientError> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
-        let mut probe = Client::connect(addr)?;
+        let mut probe = crate::retry::ReconnectingClient::with_policy(addr, policy);
         probe.ping()?;
         Ok(NetMap {
             addr,
+            policy,
             pool: Mutex::new(vec![probe]),
             count_only_scans: false,
         })
@@ -333,11 +405,12 @@ impl NetMap {
         self.addr
     }
 
-    fn checkout(&self) -> Client {
+    fn checkout(&self) -> crate::retry::ReconnectingClient {
         if let Some(c) = self.pool.lock().expect("pool lock").pop() {
             return c;
         }
-        Client::connect(self.addr).expect("dial pnb-server")
+        // Lazy: the new client dials (with retry) on its first call.
+        crate::retry::ReconnectingClient::with_policy(self.addr, self.policy)
     }
 }
 
@@ -365,11 +438,11 @@ impl ConcurrentMap for NetMap {
 pub struct NetSession<'a> {
     map: &'a NetMap,
     /// `Some` for the session's whole life; taken only by `Drop`.
-    client: Option<Client>,
+    client: Option<crate::retry::ReconnectingClient>,
 }
 
 impl NetSession<'_> {
-    fn client(&mut self) -> &mut Client {
+    fn client(&mut self) -> &mut crate::retry::ReconnectingClient {
         self.client.as_mut().expect("client present until drop")
     }
 }

@@ -106,6 +106,27 @@ impl FrameBuf {
         self.buf.len() - self.start
     }
 
+    /// How many *complete* frames are currently buffered (without
+    /// consuming them). The server's admission control uses this as its
+    /// per-connection in-flight count: every frame counted here has
+    /// been received in full and awaits service. Counting stops at the
+    /// first malformed or oversized header — those bytes surface as a
+    /// [`DecodeError`] when [`next_frame`](Self::next_frame) reaches
+    /// them.
+    pub fn complete_frames(&self) -> usize {
+        let mut avail = &self.buf[self.start..];
+        let mut n = 0;
+        while avail.len() >= HEADER_LEN && avail[..4] == MAGIC {
+            let len = u32::from_le_bytes(avail[16..20].try_into().expect("4 bytes")) as usize;
+            if len > self.max_payload || avail.len() < HEADER_LEN + len {
+                break;
+            }
+            n += 1;
+            avail = &avail[HEADER_LEN + len..];
+        }
+        n
+    }
+
     /// Pull the next complete frame, if one has fully arrived.
     ///
     /// `Ok(None)` means "need more bytes". `Err` means the stream is
@@ -244,10 +265,16 @@ pub fn encode_response(opcode: Opcode, resp: &Response) -> Vec<u8> {
             payload.extend_from_slice(&s.closed.to_le_bytes());
             payload.extend_from_slice(&s.requests.to_le_bytes());
             payload.extend_from_slice(&s.protocol_errors.to_le_bytes());
+            payload.extend_from_slice(&s.shed.to_le_bytes());
+            payload.extend_from_slice(&s.slow_reader_disconnects.to_le_bytes());
             payload.extend_from_slice(&(s.shard_ops.len() as u64).to_le_bytes());
             for ops in &s.shard_ops {
                 payload.extend_from_slice(&ops.to_le_bytes());
             }
+        }
+        RespBody::Busy { retry_after_ms } => {
+            status = StatusCode::Busy;
+            payload.extend_from_slice(&retry_after_ms.to_le_bytes());
         }
         RespBody::Error(code, msg) => {
             status = *code;
@@ -369,6 +396,21 @@ pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
         code: StatusCode::BadPayload,
         msg: format!("unknown status byte {}", frame.status),
     })?;
+    if status == StatusCode::Busy {
+        if frame.payload.len() != 8 {
+            return Err(bad_payload(
+                id,
+                "8-byte retry-after hint",
+                frame.payload.len(),
+            ));
+        }
+        return Ok(Response {
+            id,
+            body: RespBody::Busy {
+                retry_after_ms: u64_at(&frame.payload, 0),
+            },
+        });
+    }
     if status != StatusCode::Ok {
         let msg = String::from_utf8_lossy(&frame.payload).into_owned();
         return Ok(Response {
@@ -436,11 +478,11 @@ pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
             }
         }
         Opcode::Stats => {
-            if p.len() < 40 {
-                return Err(bad_payload(id, ">=40-byte stats block", p.len()));
+            if p.len() < 56 {
+                return Err(bad_payload(id, ">=56-byte stats block", p.len()));
             }
-            let shards = u64_at(p, 4) as usize;
-            if p.len() != 40 + shards * 8 {
+            let shards = u64_at(p, 6) as usize;
+            if p.len() != 56 + shards * 8 {
                 return Err(bad_payload(id, "stats block with shard totals", p.len()));
             }
             RespBody::Stats(ServerStatsWire {
@@ -448,7 +490,9 @@ pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
                 closed: u64_at(p, 1),
                 requests: u64_at(p, 2),
                 protocol_errors: u64_at(p, 3),
-                shard_ops: (0..shards).map(|i| u64_at(p, 5 + i)).collect(),
+                shed: u64_at(p, 4),
+                slow_reader_disconnects: u64_at(p, 5),
+                shard_ops: (0..shards).map(|i| u64_at(p, 7 + i)).collect(),
             })
         }
     };
@@ -531,9 +575,12 @@ mod tests {
                 closed: 2,
                 requests: 3,
                 protocol_errors: 4,
+                shed: 9,
+                slow_reader_disconnects: 10,
                 shard_ops: vec![5, 6, 7, 8],
             }),
         );
+        roundtrip_resp(Opcode::Get, RespBody::Busy { retry_after_ms: 7 });
         roundtrip_resp(
             Opcode::Checkpoint,
             RespBody::CheckpointDone {

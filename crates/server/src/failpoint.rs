@@ -1,0 +1,111 @@
+//! Feature-gated failpoints for chaos-testing the worker loop.
+//!
+//! Compiled to a no-op unless the `failpoints` cargo feature is on.
+//! With the feature enabled, the `PNB_FAILPOINTS` environment variable
+//! configures what each named point does, as a `;`-separated list of
+//! rules:
+//!
+//! ```text
+//! PNB_FAILPOINTS="worker-frame@0.01:close;worker-frame@0.05:delay=2"
+//! ```
+//!
+//! Each rule is `point@probability:action` where `action` is either
+//! `close` (begin closing the connection the frame arrived on — the
+//! client sees a clean EOF after pending responses flush) or
+//! `delay=<ms>` (sleep the worker, stalling every connection it owns —
+//! the head-of-line blocking a slow handler would cause). Rolls are
+//! drawn from a deterministic splitmix64 stream seeded by
+//! `PNB_FAILPOINT_SEED` (default 0), so a failing chaos run reproduces
+//! exactly.
+
+#![allow(dead_code)]
+
+use crate::conn::Conn;
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use super::Conn;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Duration;
+
+    #[derive(Clone, Copy, Debug)]
+    enum Action {
+        Close,
+        DelayMs(u64),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Rule {
+        point: String,
+        /// Trigger threshold scaled to u64: roll < threshold fires.
+        threshold: u64,
+        action: Action,
+    }
+
+    fn rules() -> &'static [Rule] {
+        static RULES: OnceLock<Vec<Rule>> = OnceLock::new();
+        RULES.get_or_init(|| {
+            let Ok(spec) = std::env::var("PNB_FAILPOINTS") else {
+                return Vec::new();
+            };
+            spec.split(';')
+                .filter(|s| !s.trim().is_empty())
+                .filter_map(parse_rule)
+                .collect()
+        })
+    }
+
+    fn parse_rule(s: &str) -> Option<Rule> {
+        let (point, rest) = s.trim().split_once('@')?;
+        let (prob, action) = rest.split_once(':')?;
+        let p: f64 = prob.parse().ok()?;
+        let action = if action == "close" {
+            Action::Close
+        } else {
+            let ms = action.strip_prefix("delay=")?.parse().ok()?;
+            Action::DelayMs(ms)
+        };
+        Some(Rule {
+            point: point.to_string(),
+            threshold: (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64,
+            action,
+        })
+    }
+
+    fn roll() -> u64 {
+        static STATE: OnceLock<AtomicU64> = OnceLock::new();
+        let state = STATE.get_or_init(|| {
+            let seed = std::env::var("PNB_FAILPOINT_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0u64);
+            AtomicU64::new(seed)
+        });
+        workload::seed::splitmix64(state.fetch_add(1, Ordering::Relaxed))
+    }
+
+    pub(crate) fn hit(point: &str, conn: &mut Conn) {
+        for rule in rules() {
+            if rule.point == point && roll() < rule.threshold {
+                match rule.action {
+                    Action::Close => conn.begin_close(),
+                    Action::DelayMs(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                }
+            }
+        }
+    }
+}
+
+/// Run the failpoint named `point` against `conn`. No-op without the
+/// `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub(crate) fn hit(point: &str, conn: &mut Conn) {
+    active::hit(point, conn);
+}
+
+/// Run the failpoint named `point` against `conn`. No-op without the
+/// `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn hit(_point: &str, _conn: &mut Conn) {}

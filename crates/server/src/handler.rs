@@ -49,6 +49,8 @@ pub fn handle(
                 closed: s.closed,
                 requests: s.requests,
                 protocol_errors: s.protocol_errors,
+                shed: s.shed,
+                slow_reader_disconnects: s.slow_reader_disconnects,
                 shard_ops: session
                     .map()
                     .shard_stats()

@@ -33,18 +33,23 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod client;
 pub mod codec;
 pub mod conn;
+mod failpoint;
 pub mod handler;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod stats;
 
+pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{Client, ClientError, NetMap, NetSession, RangeReply};
 pub use codec::{
     decode_request, decode_response, encode_request, encode_response, DecodeError, Frame, FrameBuf,
 };
 pub use proto::{Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire, StatusCode};
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use retry::{ReconnectingClient, RetryPolicy};
+pub use server::{AdmissionConfig, Server, ServerConfig, ShutdownHandle};
 pub use stats::{ServerStats, ServerStatsSnapshot};

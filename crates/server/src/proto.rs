@@ -133,6 +133,12 @@ pub enum StatusCode {
     Shutdown = 6,
     /// Internal server error.
     Internal = 7,
+    /// The worker crossed its admission limit and shed this request
+    /// *without executing it*. The payload is an 8-byte LE
+    /// retry-after hint in milliseconds (see [`RespBody::Busy`]);
+    /// because the operation never ran, retrying is always safe —
+    /// mutations included.
+    Busy = 8,
 }
 
 impl StatusCode {
@@ -147,6 +153,7 @@ impl StatusCode {
             5 => StatusCode::Oversized,
             6 => StatusCode::Shutdown,
             7 => StatusCode::Internal,
+            8 => StatusCode::Busy,
             _ => return None,
         })
     }
@@ -163,6 +170,7 @@ impl std::fmt::Display for StatusCode {
             StatusCode::Oversized => "oversized payload",
             StatusCode::Shutdown => "server shutting down",
             StatusCode::Internal => "internal error",
+            StatusCode::Busy => "server busy",
         };
         f.write_str(s)
     }
@@ -303,9 +311,19 @@ pub enum RespBody {
         /// Total entries written across all shard segments.
         entries: u64,
     },
+    /// Admission-control shed: the worker refused to execute the
+    /// request (status [`StatusCode::Busy`]). The operation did NOT
+    /// run, so retrying — mutations included — is always safe.
+    Busy {
+        /// Server's suggestion for how long to back off before
+        /// retrying, in milliseconds (derived from the worker's
+        /// current backlog; a floor of 1).
+        retry_after_ms: u64,
+    },
     /// Error frame: status plus human-readable message.
     Error(
-        /// Status code (never `Ok`).
+        /// Status code (never `Ok` and never `Busy`, which has its own
+        /// typed shape).
         StatusCode,
         /// UTF-8 diagnostic message.
         String,
@@ -325,6 +343,11 @@ pub struct ServerStatsWire {
     pub requests: u64,
     /// Protocol errors answered with an error frame.
     pub protocol_errors: u64,
+    /// Requests shed with a typed `Busy` frame by admission control.
+    pub shed: u64,
+    /// Connections dropped for staying over their pending-write cap
+    /// longer than the stall window (the slow-reader policy).
+    pub slow_reader_disconnects: u64,
     /// Per-shard operation totals, index order.
     pub shard_ops: Vec<u64>,
 }
@@ -345,11 +368,11 @@ mod tests {
 
     #[test]
     fn status_bytes_roundtrip() {
-        for b in 0u8..=7 {
-            let st = StatusCode::from_u8(b).expect("0..=7 are assigned");
+        for b in 0u8..=8 {
+            let st = StatusCode::from_u8(b).expect("0..=8 are assigned");
             assert_eq!(st as u8, b);
         }
-        assert_eq!(StatusCode::from_u8(8), None);
+        assert_eq!(StatusCode::from_u8(9), None);
     }
 
     #[test]

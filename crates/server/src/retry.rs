@@ -1,0 +1,350 @@
+//! Self-healing client: [`ReconnectingClient`] wraps a [`Client`] with
+//! transparent reconnection (bounded exponential backoff + jitter),
+//! automatic retries, and a per-call deadline budget.
+//!
+//! ## Retry / idempotency matrix
+//!
+//! | Failure                  | Idempotent op¹ | Mutation² |
+//! |--------------------------|----------------|-----------|
+//! | `Busy` frame             | retry (honours the server's hint) | retry — the op was **not executed** |
+//! | Transport error (reset, timeout, EOF) | retry after reconnect | fail, unless [`RetryPolicy::retry_mutations`] |
+//! | Typed error frame / protocol error | fail — the server *answered*; retrying repeats the outcome | fail |
+//!
+//! ¹ ping, get, contains, range, snapshot scan, stats.
+//! ² insert, upsert, delete, checkpoint — a transport error after
+//! `send` leaves it unknown whether the mutation executed, so retrying
+//! risks double application; callers that only issue set-semantics or
+//! otherwise idempotent mutations can opt in.
+//!
+//! ## Latency honesty
+//!
+//! Every retry, backoff sleep, and reconnect happens *inside* the call,
+//! bounded by [`RetryPolicy::call_deadline`] — so when the open-loop
+//! engine measures a call, retry time lands in the histogram instead of
+//! being coordinated-omission'd away. A call that cannot complete
+//! within the budget returns [`ClientError::DeadlineExceeded`] carrying
+//! the last underlying failure.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use workload::seed::splitmix64;
+
+use crate::client::{Client, ClientError, RangeReply};
+use crate::proto::ServerStatsWire;
+
+/// Tuning for [`ReconnectingClient`]: backoff shape, deadline budget,
+/// and whether mutations retry across transport errors.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First reconnect/retry backoff; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (growth is capped here).
+    pub max_backoff: Duration,
+    /// Per-call budget covering every attempt, sleep, and reconnect.
+    pub call_deadline: Duration,
+    /// TCP connect timeout per dial attempt.
+    pub connect_timeout: Duration,
+    /// Retry mutations (insert/upsert/delete/checkpoint) across
+    /// *transport* errors. Off by default: a reset after `send` leaves
+    /// it unknown whether the mutation executed. (`Busy` retries are
+    /// always on — a shed op was never executed.)
+    pub retry_mutations: bool,
+    /// Seed for the jitter stream (deterministic backoff in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            call_deadline: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(5),
+            retry_mutations: false,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// from [`base_backoff`](Self::base_backoff), capped at
+    /// [`max_backoff`](Self::max_backoff), with ±25% deterministic
+    /// jitter drawn from `jitter_state` so a fleet of clients does not
+    /// reconnect in lockstep.
+    pub fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let base = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        *jitter_state = jitter_state.wrapping_add(1);
+        let roll = splitmix64(self.seed ^ *jitter_state);
+        // Map the roll to [0.75, 1.25).
+        let factor = 0.75 + (roll >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        base.mul_f64(factor)
+    }
+}
+
+/// Whether an op may be blindly re-sent after a *transport* error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpClass {
+    /// Safe to repeat: re-execution cannot change the outcome.
+    Idempotent,
+    /// Re-execution may double-apply; retried only by policy opt-in.
+    Mutation,
+}
+
+/// A [`Client`] that survives resets: reconnects with bounded
+/// exponential backoff + jitter, honours `Busy` retry hints, retries
+/// idempotent operations across transport errors (mutations by
+/// opt-in), and bounds the whole affair with a per-call deadline.
+///
+/// Construction is lazy — no dialing happens until the first call — so
+/// a client built while the server is still starting (or mid-restart)
+/// simply connects when it first needs to.
+#[derive(Debug)]
+pub struct ReconnectingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    client: Option<Client>,
+    jitter_state: u64,
+}
+
+impl ReconnectingClient {
+    /// Build against `addr` with the default [`RetryPolicy`].
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// Build against `addr` with an explicit policy.
+    pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        ReconnectingClient {
+            addr,
+            policy,
+            client: None,
+            jitter_state: 0,
+        }
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Whether a connection is currently established (diagnostics; the
+    /// next call reconnects on demand either way).
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    /// Sleep for `wanted`, but never past `deadline`; `Err` when the
+    /// budget is already exhausted.
+    fn bounded_sleep(wanted: Duration, deadline: Instant) -> Result<(), ()> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(());
+        }
+        std::thread::sleep(wanted.min(deadline - now));
+        Ok(())
+    }
+
+    /// Ensure a live connection, dialing with backoff until `deadline`.
+    fn ensure_connected(&mut self, deadline: Instant) -> Result<(), ClientError> {
+        let mut attempt = 0u32;
+        let mut last: Option<io::Error> = None;
+        while self.client.is_none() {
+            if Instant::now() >= deadline {
+                return Err(self.deadline_error(last.map(|e| e.to_string())));
+            }
+            match Client::connect_with_timeout(&self.addr, self.policy.connect_timeout) {
+                Ok(c) => self.client = Some(c),
+                Err(e) => {
+                    last = Some(e);
+                    let wait = self.policy.backoff(attempt, &mut self.jitter_state);
+                    attempt = attempt.saturating_add(1);
+                    if Self::bounded_sleep(wait, deadline).is_err() {
+                        return Err(self.deadline_error(last.map(|e| e.to_string())));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn deadline_error(&self, last: Option<String>) -> ClientError {
+        ClientError::DeadlineExceeded {
+            budget: self.policy.call_deadline,
+            last: last.unwrap_or_else(|| "no attempt completed".to_string()),
+        }
+    }
+
+    /// Run `op` with the full retry discipline (see the module docs).
+    fn with_retry<T>(
+        &mut self,
+        class: OpClass,
+        op: impl Fn(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let deadline = Instant::now() + self.policy.call_deadline;
+        let mut attempt = 0u32;
+        loop {
+            self.ensure_connected(deadline)?;
+            let client = self.client.as_mut().expect("ensure_connected filled it");
+            match op(client) {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    // The op was NOT executed — always retryable. Honour
+                    // the server's hint (plus jitter) so a shedding
+                    // server isn't hammered in lockstep.
+                    let hint = Duration::from_millis(retry_after_ms.max(1));
+                    let jitter = self.policy.backoff(0, &mut self.jitter_state);
+                    if Self::bounded_sleep(hint + jitter / 4, deadline).is_err() {
+                        return Err(
+                            self.deadline_error(Some(format!("busy (hint {retry_after_ms} ms)")))
+                        );
+                    }
+                }
+                Err(ClientError::Io(e)) => {
+                    // The connection is in an unknown state (a response
+                    // may be half-read): drop it; any retry re-dials.
+                    self.client = None;
+                    let retryable = class == OpClass::Idempotent || self.policy.retry_mutations;
+                    if !retryable {
+                        return Err(ClientError::Io(e));
+                    }
+                    let wait = self.policy.backoff(attempt, &mut self.jitter_state);
+                    attempt = attempt.saturating_add(1);
+                    if Self::bounded_sleep(wait, deadline).is_err() {
+                        return Err(self.deadline_error(Some(e.to_string())));
+                    }
+                }
+                // The server *answered* (typed error) or spoke garbage:
+                // retrying would repeat the outcome or talk to a broken
+                // peer — surface it.
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Liveness probe (idempotent: auto-retried).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.with_retry(OpClass::Idempotent, Client::ping)
+    }
+
+    /// Point lookup (idempotent: auto-retried).
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, ClientError> {
+        self.with_retry(OpClass::Idempotent, |c| c.get(key))
+    }
+
+    /// Membership test (idempotent: auto-retried).
+    pub fn contains(&mut self, key: u64) -> Result<bool, ClientError> {
+        self.with_retry(OpClass::Idempotent, |c| c.contains(key))
+    }
+
+    /// Set-semantics insert (mutation: transport-error retry only by
+    /// [`RetryPolicy::retry_mutations`]; `Busy` retries always on).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<bool, ClientError> {
+        self.with_retry(OpClass::Mutation, |c| c.insert(key, value))
+    }
+
+    /// Insert-or-replace (mutation; see [`insert`](Self::insert)).
+    pub fn upsert(&mut self, key: u64, value: u64) -> Result<Option<u64>, ClientError> {
+        self.with_retry(OpClass::Mutation, |c| c.upsert(key, value))
+    }
+
+    /// Remove (mutation; see [`insert`](Self::insert)).
+    pub fn delete(&mut self, key: u64) -> Result<bool, ClientError> {
+        self.with_retry(OpClass::Mutation, |c| c.delete(key))
+    }
+
+    /// Count keys in `[lo, hi]` (idempotent: auto-retried).
+    pub fn range_count(&mut self, lo: u64, hi: u64) -> Result<u64, ClientError> {
+        self.with_retry(OpClass::Idempotent, |c| c.range_count(lo, hi))
+    }
+
+    /// Fetch entries in `[lo, hi]` (idempotent: auto-retried).
+    pub fn range_entries(&mut self, lo: u64, hi: u64) -> Result<RangeReply, ClientError> {
+        self.with_retry(OpClass::Idempotent, |c| c.range_entries(lo, hi))
+    }
+
+    /// Snapshot-consistent entries in `[lo, hi]` (idempotent:
+    /// auto-retried — each retry takes a *fresh* snapshot).
+    pub fn snapshot_entries(&mut self, lo: u64, hi: u64) -> Result<RangeReply, ClientError> {
+        self.with_retry(OpClass::Idempotent, |c| c.snapshot_entries(lo, hi))
+    }
+
+    /// Durable checkpoint (mutation-classed: a repeated checkpoint
+    /// writes an extra generation; opt in via
+    /// [`RetryPolicy::retry_mutations`] if that is acceptable).
+    pub fn checkpoint(&mut self) -> Result<(u64, u64), ClientError> {
+        self.with_retry(OpClass::Mutation, Client::checkpoint)
+    }
+
+    /// Server counters (idempotent: auto-retried).
+    pub fn stats(&mut self) -> Result<ServerStatsWire, ClientError> {
+        self.with_retry(OpClass::Idempotent, Client::stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            seed: 42,
+            ..RetryPolicy::default()
+        };
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let a: Vec<Duration> = (0..8).map(|i| p.backoff(i, &mut s1)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| p.backoff(i, &mut s2)).collect();
+        assert_eq!(a, b, "same seed, same jitter stream");
+        for (i, d) in a.iter().enumerate() {
+            let nominal = Duration::from_millis(10)
+                .saturating_mul(1 << i)
+                .min(Duration::from_millis(200));
+            assert!(
+                *d >= nominal.mul_f64(0.75) && *d < nominal.mul_f64(1.25),
+                "attempt {i}: {d:?} outside ±25% of {nominal:?}"
+            );
+        }
+        // Capped region actually engages.
+        assert!(a[7] <= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn deadline_bounds_connect_to_a_dead_address() {
+        // A port nothing listens on: bind-then-drop guarantees it was
+        // recently free and nothing is listening now.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut c = ReconnectingClient::with_policy(
+            dead,
+            RetryPolicy {
+                call_deadline: Duration::from_millis(300),
+                base_backoff: Duration::from_millis(20),
+                connect_timeout: Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        match c.ping() {
+            Err(ClientError::DeadlineExceeded { budget, .. }) => {
+                assert_eq!(budget, Duration::from_millis(300));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "deadline must bound the call, took {elapsed:?}"
+        );
+    }
+}

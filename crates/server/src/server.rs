@@ -42,8 +42,66 @@ use pnb_shard::ShardedPnbBst;
 use crate::codec::{decode_request, encode_decode_error, encode_response};
 use crate::conn::{Conn, ReadOutcome};
 use crate::handler::handle;
-use crate::proto::MAX_PAYLOAD;
+use crate::proto::{RespBody, Response, MAX_PAYLOAD};
 use crate::stats::ServerStats;
+
+/// Overload-protection limits, applied **per worker** (each worker owns
+/// its connections exclusively, so the accounting needs no atomics).
+///
+/// Two independent bounds, shed with a typed [`Busy`](RespBody::Busy)
+/// frame when either is crossed, plus the per-connection slow-reader
+/// policy (see `conn.rs` and DESIGN.md §10):
+///
+/// - **In-flight requests** ([`max_inflight`](Self::max_inflight)):
+///   complete frames buffered across the worker's connections at the
+///   start of a serve pass. A pipelining client that floods faster than
+///   the worker serves gets `Busy` for the excess instead of unbounded
+///   queueing delay.
+/// - **Queued response bytes** ([`max_queued_bytes`](Self::max_queued_bytes)):
+///   the sum of pending-write buffers. Large range responses to slow
+///   readers are bounded in aggregate, not just per connection.
+///
+/// A `Busy` response means the operation was **not executed** — it is
+/// always safe to retry, mutations included.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Complete buffered frames a worker will serve ahead of a request
+    /// before shedding it. Must exceed the deepest pipeline a
+    /// well-behaved client sends in one burst.
+    pub max_inflight: usize,
+    /// Cap on the sum of a worker's pending-write buffers, bytes.
+    pub max_queued_bytes: usize,
+    /// Per-connection pending-write cap, bytes. At or above it the
+    /// connection is write-paused: not read from, not served.
+    pub max_conn_pending_write: usize,
+    /// How long a connection may stay continuously write-paused before
+    /// the worker disconnects it (the slow-reader policy).
+    pub stall_window: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 4096,
+            max_queued_bytes: 8 << 20,
+            max_conn_pending_write: 256 << 10,
+            stall_window: Duration::from_secs(5),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The retry-after hint carried in a `Busy` payload: a coarse
+    /// estimate of how long the backlog above the limit takes to drain,
+    /// clamped to `[1, 1000]` ms. `backlog` is the number of requests
+    /// queued ahead of the shed one.
+    pub fn retry_after_hint_ms(&self, backlog: usize) -> u64 {
+        // Assume a conservative ~100k ops/s/worker drain rate: 10 µs
+        // per queued request, rounded up to at least 1 ms.
+        let over = backlog.saturating_sub(self.max_inflight);
+        ((over as u64 * 10).div_ceil(1000)).clamp(1, 1000)
+    }
+}
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -69,6 +127,9 @@ pub struct ServerConfig {
     /// no loadable checkpoint exists — a silently empty restore would
     /// masquerade as data loss.
     pub restore: bool,
+    /// Per-worker overload limits (admission control + slow-reader
+    /// policy).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +142,7 @@ impl Default for ServerConfig {
             drain_grace: Duration::from_millis(200),
             checkpoint_dir: None,
             restore: false,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -102,6 +164,12 @@ impl ServerConfig {
 pub struct ShutdownHandle(Arc<AtomicBool>);
 
 impl ShutdownHandle {
+    /// A fresh, unsignalled handle (for components that reuse the
+    /// polled-flag pattern, e.g. the chaos proxy).
+    pub(crate) fn fresh() -> Self {
+        ShutdownHandle(Arc::new(AtomicBool::new(false)))
+    }
+
     /// Ask the server to drain and exit (idempotent).
     pub fn signal(&self) {
         // Relaxed: the flag is polled; no data is published through it.
@@ -256,7 +324,25 @@ fn configure(stream: &TcpStream) -> io::Result<()> {
 }
 
 /// One worker: multiplex the connections routed here over a single
-/// long-lived session.
+/// long-lived session, under the per-worker admission limits.
+///
+/// Each pass is two-phase. **Phase A** adopts new connections and
+/// reads from every connection that is not write-paused, then counts
+/// the backlog of complete buffered frames. **Phase B** serves, with
+/// overload protection applied per frame:
+///
+/// - At most [`AdmissionConfig::max_inflight`] requests are *executed*
+///   per pass; the rest of the backlog is answered with typed
+///   [`Busy`](RespBody::Busy) frames carrying a retry-after hint —
+///   answered in request order, never silently dropped, never executed.
+/// - Once the worker's total queued response bytes reach
+///   [`AdmissionConfig::max_queued_bytes`], further frames are shed the
+///   same way (a `Busy` frame is ~28 bytes; shedding still bounds
+///   growth because reading pauses per connection at the write cap).
+/// - A connection whose pending-write buffer sits at its cap stops
+///   being read or served (so its memory is bounded by
+///   `cap + one response`), and is disconnected once it has been
+///   continuously paused longer than [`AdmissionConfig::stall_window`].
 fn worker_loop(
     rx: Receiver<TcpStream>,
     map: &ShardedPnbBst<u64, u64>,
@@ -264,6 +350,7 @@ fn worker_loop(
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
 ) {
+    let admission = cfg.admission;
     let mut session = map.pin();
     let mut conns: Vec<Conn> = Vec::new();
     let mut ops_since_refresh = 0u64;
@@ -271,11 +358,15 @@ fn worker_loop(
     // passes so already-sent (pipelined) requests are still answered.
     let mut drain_deadline: Option<Instant> = None;
     loop {
-        // Intake: adopt newly accepted connections.
+        // Phase A: adopt newly accepted connections, then read.
         let mut intake_open = true;
         loop {
             match rx.try_recv() {
-                Ok(stream) => conns.push(Conn::new(stream, cfg.max_payload)),
+                Ok(stream) => conns.push(Conn::new(
+                    stream,
+                    cfg.max_payload,
+                    admission.max_conn_pending_write,
+                )),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
                     intake_open = false;
@@ -288,63 +379,125 @@ fn worker_loop(
         }
 
         let mut progressed = false;
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let mut dead = false;
+            if conn.stalled_beyond(now, admission.stall_window) {
+                // Slow-reader policy: continuously over the write cap
+                // for longer than the stall window — disconnect.
+                stats.slow_reader_disconnect();
+                dead = true;
+            } else if !conn.write_paused() {
+                match conn.read_ready() {
+                    Ok(ReadOutcome::Open { progressed: p }) => progressed |= p,
+                    Ok(ReadOutcome::Eof) => {
+                        // Peer finished sending; answer what's
+                        // buffered, flush, then close.
+                        conn.begin_close();
+                    }
+                    Err(_) => dead = true,
+                }
+            }
+            if dead {
+                conns.swap_remove(i);
+                stats.closed();
+            } else {
+                i += 1;
+            }
+        }
+        let mut backlog: usize = conns.iter().map(Conn::buffered_frames).sum();
+        let mut queued_bytes: usize = conns.iter().map(Conn::pending_write_bytes).sum();
+        let busy_hint = admission.retry_after_hint_ms(backlog);
+
+        // Phase B: serve the backlog under the admission budget.
+        let mut serve_budget = admission.max_inflight;
         let mut i = 0;
         while i < conns.len() {
             let mut dead = false;
             let conn = &mut conns[i];
-            match conn.read_ready() {
-                Ok(ReadOutcome::Open { progressed: p }) => progressed |= p,
-                Ok(ReadOutcome::Eof) => {
-                    // Peer finished sending; answer what's buffered,
-                    // flush, then close.
-                    conn.begin_close();
-                }
-                Err(_) => dead = true,
-            }
-            if !dead {
-                // Serve every complete frame buffered so far.
-                loop {
-                    match conn.next_frame() {
-                        Ok(Some(frame)) => {
-                            progressed = true;
-                            match decode_request(&frame) {
-                                Ok(req) => {
-                                    stats.request();
-                                    let resp = handle(
-                                        &req,
-                                        &session,
-                                        stats,
-                                        cfg.checkpoint_dir.as_deref(),
-                                    );
-                                    conn.queue(&encode_response(req.body.opcode(), &resp));
-                                    ops_since_refresh += 1;
-                                }
-                                Err(e) => {
-                                    // Malformed but framable (bad
-                                    // version/opcode/payload): typed
-                                    // error, then close this connection
-                                    // only.
-                                    stats.protocol_error();
-                                    conn.queue(&encode_decode_error(&e));
-                                    conn.begin_close();
-                                }
+            // Serve complete frames buffered on this connection, until
+            // its write side pauses.
+            while !conn.write_paused() {
+                match conn.next_frame() {
+                    Ok(Some(frame)) => {
+                        progressed = true;
+                        backlog = backlog.saturating_sub(1);
+                        crate::failpoint::hit("worker-frame", conn);
+                        if conn.is_closing() {
+                            break; // failpoint closed the connection
+                        }
+                        let shed = serve_budget == 0 || queued_bytes >= admission.max_queued_bytes;
+                        if shed {
+                            // Over the admission limit: answer (in
+                            // order) with a typed Busy frame instead of
+                            // executing. The op did NOT run — always
+                            // safe to retry.
+                            if let Some(op) = crate::proto::Opcode::from_u8(frame.opcode) {
+                                stats.shed();
+                                let resp = Response {
+                                    id: frame.id,
+                                    body: RespBody::Busy {
+                                        retry_after_ms: busy_hint,
+                                    },
+                                };
+                                let bytes = encode_response(op, &resp);
+                                queued_bytes += bytes.len();
+                                conn.queue(&bytes);
+                                continue;
+                            }
+                            // Unknown opcode: fall through so the
+                            // decode path answers with the typed
+                            // BadOpcode error and closes.
+                        }
+                        match decode_request(&frame) {
+                            Ok(req) => {
+                                serve_budget = serve_budget.saturating_sub(1);
+                                stats.request();
+                                let resp =
+                                    handle(&req, &session, stats, cfg.checkpoint_dir.as_deref());
+                                let bytes = encode_response(req.body.opcode(), &resp);
+                                queued_bytes += bytes.len();
+                                conn.queue(&bytes);
+                                ops_since_refresh += 1;
+                            }
+                            Err(e) => {
+                                // Malformed but framable (bad
+                                // version/opcode/payload): typed
+                                // error, then close this connection
+                                // only.
+                                stats.protocol_error();
+                                let bytes = encode_decode_error(&e);
+                                queued_bytes += bytes.len();
+                                conn.queue(&bytes);
+                                conn.begin_close();
                             }
                         }
-                        Ok(None) => break,
-                        Err(e) => {
-                            // Unframeable stream (bad magic, oversized
-                            // length): error frame, close.
-                            stats.protocol_error();
-                            conn.queue(&encode_decode_error(&e));
-                            conn.begin_close();
-                            break;
-                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Unframeable stream (bad magic, oversized
+                        // length): error frame, close.
+                        stats.protocol_error();
+                        let bytes = encode_decode_error(&e);
+                        queued_bytes += bytes.len();
+                        conn.queue(&bytes);
+                        conn.begin_close();
+                        break;
                     }
                 }
-                match conn.flush() {
-                    Ok(_) => {}
-                    Err(_) => dead = true,
+            }
+            let before = conn.pending_write_bytes();
+            stats.note_conn_pending(before as u64);
+            match conn.flush() {
+                // Saturating: belt-and-braces against any queue path
+                // that didn't add to `queued_bytes` — an accounting
+                // slip must never panic the worker.
+                Ok(_) => {
+                    queued_bytes = queued_bytes.saturating_sub(before - conn.pending_write_bytes());
                 }
+                Err(_) => dead = true,
             }
             if dead || conns[i].done() {
                 conns.swap_remove(i);
@@ -353,6 +506,7 @@ fn worker_loop(
                 i += 1;
             }
         }
+        let _ = backlog; // fully accounted; kept for the hint above
 
         if ops_since_refresh >= cfg.refresh_every {
             session.refresh();

@@ -17,6 +17,9 @@ pub struct ServerStats {
     closed: AtomicU64,
     requests: AtomicU64,
     protocol_errors: AtomicU64,
+    shed: AtomicU64,
+    slow_reader_disconnects: AtomicU64,
+    peak_conn_pending_bytes: AtomicU64,
 }
 
 /// A point-in-time read of [`ServerStats`].
@@ -30,6 +33,17 @@ pub struct ServerStatsSnapshot {
     pub requests: u64,
     /// Malformed frames answered with a typed error frame.
     pub protocol_errors: u64,
+    /// Requests shed with a typed `Busy` frame by admission control
+    /// (each one was answered, never silently dropped, and never
+    /// executed).
+    pub shed: u64,
+    /// Connections dropped by the slow-reader policy: pending-write
+    /// buffer over its cap for longer than the stall window.
+    pub slow_reader_disconnects: u64,
+    /// High-water mark of any single connection's pending-write buffer,
+    /// bytes. Bounded by the per-connection write cap plus one maximal
+    /// response — the overload tests assert exactly that.
+    pub peak_conn_pending_bytes: u64,
 }
 
 impl ServerStats {
@@ -53,6 +67,23 @@ impl ServerStats {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a request shed with a typed `Busy` frame.
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection dropped by the slow-reader policy.
+    pub fn slow_reader_disconnect(&self) {
+        self.slow_reader_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection's current pending-write depth; keeps the
+    /// high-water mark.
+    pub fn note_conn_pending(&self, bytes: u64) {
+        self.peak_conn_pending_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Read every counter.
     pub fn snapshot(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
@@ -60,6 +91,9 @@ impl ServerStats {
             closed: self.closed.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            slow_reader_disconnects: self.slow_reader_disconnects.load(Ordering::Relaxed),
+            peak_conn_pending_bytes: self.peak_conn_pending_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -77,10 +111,17 @@ mod tests {
         s.request();
         s.protocol_error();
         s.closed();
+        s.shed();
+        s.slow_reader_disconnect();
+        s.note_conn_pending(100);
+        s.note_conn_pending(40); // high-water mark keeps the max
         let snap = s.snapshot();
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.protocol_errors, 1);
         assert_eq!(snap.closed, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.slow_reader_disconnects, 1);
+        assert_eq!(snap.peak_conn_pending_bytes, 100);
     }
 }

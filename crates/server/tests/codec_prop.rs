@@ -49,9 +49,14 @@ fn resp_case() -> impl Strategy<Value = (Opcode, RespBody)> {
                     closed: 2,
                     requests: 3,
                     protocol_errors: 4,
+                    shed: 5,
+                    slow_reader_disconnects: 6,
                     shard_ops,
                 }),
             )
+        }),
+        1 => any::<u64>().prop_map(|retry_after_ms| {
+            (Opcode::Insert, RespBody::Busy { retry_after_ms })
         }),
         1 => prop::collection::vec(any::<u8>(), 0..64).prop_map(|msg| {
             (

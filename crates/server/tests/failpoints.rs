@@ -1,0 +1,28 @@
+//! The feature-gated worker-loop failpoints (`--features failpoints`):
+//! `PNB_FAILPOINTS` rules must actually fire inside the serve path.
+//!
+//! One test only: the rule table is parsed once per process (it is a
+//! `OnceLock`), so a single test owns the environment.
+
+#![cfg(feature = "failpoints")]
+
+use pnb_server::{Client, ClientError, Server, ServerConfig};
+
+#[test]
+fn close_rule_severs_the_connection_before_serving() {
+    // Must be set before the first frame ever hits the failpoint.
+    std::env::set_var("PNB_FAILPOINTS", "worker-frame@1:close");
+    std::env::set_var("PNB_FAILPOINT_SEED", "1");
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let (addr, shutdown, _join) = server.spawn().expect("spawn");
+    let mut c = Client::connect(addr).expect("connect");
+    // With probability 1 the failpoint closes the connection instead
+    // of serving: the client must observe a clean EOF, not a hang.
+    match c.ping() {
+        Err(ClientError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "kind: {e}");
+        }
+        other => panic!("expected EOF from the close failpoint, got {other:?}"),
+    }
+    shutdown.signal();
+}

@@ -1,0 +1,182 @@
+//! Overload-protection contract, end to end over real sockets:
+//!
+//! 1. Past the admission limit every excess request is answered with a
+//!    typed `Busy` frame — none executed, none silently dropped.
+//! 2. The `Busy` payload carries a nonzero retry-after hint.
+//! 3. A deliberately stalled reader is write-paused (its memory bounded
+//!    by the per-connection cap plus one response) and disconnected
+//!    after the stall window, without disturbing sibling connections.
+
+use std::time::{Duration, Instant};
+
+use pnb_server::{
+    AdmissionConfig, Client, ClientError, ReqBody, RespBody, Server, ServerConfig, ShutdownHandle,
+};
+
+fn start(cfg: ServerConfig) -> (std::net::SocketAddr, ShutdownHandle) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let (addr, handle, _join) = server.spawn().expect("spawn");
+    (addr, handle)
+}
+
+#[test]
+fn excess_pipelined_requests_get_typed_busy_not_silence() {
+    let (addr, shutdown) = start(ServerConfig {
+        workers: 1,
+        admission: AdmissionConfig {
+            // Serve two per pass; a 500-deep burst must shed.
+            max_inflight: 2,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let total = 500u64;
+    for k in 0..total {
+        c.send(ReqBody::Insert { key: k, value: k }).expect("send");
+    }
+    let (mut ok, mut busy) = (0u64, 0u64);
+    let mut min_hint = u64::MAX;
+    for _ in 0..total {
+        match c.recv() {
+            Ok((_id, RespBody::Bool(_))) => ok += 1,
+            Ok((id, other)) => panic!("request {id}: unexpected body {other:?}"),
+            Err(ClientError::Busy { retry_after_ms }) => {
+                busy += 1;
+                min_hint = min_hint.min(retry_after_ms);
+            }
+            Err(e) => panic!("unexpected error mid-burst: {e}"),
+        }
+    }
+    assert_eq!(ok + busy, total, "every request answered, none dropped");
+    assert!(
+        busy > 0,
+        "a 500-deep burst against max_inflight=2 must shed"
+    );
+    assert!(ok >= 2, "the admission budget itself must still be served");
+    assert!(
+        min_hint >= 1,
+        "Busy hints are at least 1 ms, got {min_hint}"
+    );
+
+    // The server's own ledger agrees with what crossed the wire.
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.shed, busy, "wire-visible Busy count == stats.shed");
+    shutdown.signal();
+}
+
+#[test]
+fn shed_operations_were_never_executed() {
+    let (addr, shutdown) = start(ServerConfig {
+        workers: 1,
+        admission: AdmissionConfig {
+            max_inflight: 2,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let total = 300u64;
+    for k in 0..total {
+        c.send(ReqBody::Insert { key: k, value: k }).expect("send");
+    }
+    let mut inserted = 0u64;
+    for _ in 0..total {
+        match c.recv() {
+            Ok((_, RespBody::Bool(true))) => inserted += 1,
+            Ok((_, RespBody::Bool(false))) => panic!("distinct keys cannot collide"),
+            Ok((id, other)) => panic!("request {id}: unexpected body {other:?}"),
+            Err(ClientError::Busy { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    // Busy == not executed: the map holds exactly the acknowledged
+    // inserts, so retrying the shed ones can never double-apply.
+    let count = c.range_count(0, u64::MAX).expect("count");
+    assert_eq!(count, inserted, "map contents == acknowledged inserts");
+    shutdown.signal();
+}
+
+#[test]
+fn stalled_reader_is_bounded_then_disconnected_and_siblings_survive() {
+    let write_cap = 64 * 1024;
+    let prefill = 50_000u64;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                // Stall policy under test; shedding out of the way.
+                max_inflight: 1 << 20,
+                max_queued_bytes: 1 << 30,
+                max_conn_pending_write: write_cap,
+                stall_window: Duration::from_millis(300),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let live_stats = server.stats();
+    let (addr, shutdown, _join) = server.spawn().expect("spawn");
+
+    // Prefill so range responses are large (16 B per entry).
+    let mut loader = Client::connect(addr).expect("connect loader");
+    for batch in 0..(prefill / 1000) {
+        for k in (batch * 1000)..((batch + 1) * 1000) {
+            loader
+                .send(ReqBody::Insert { key: k, value: k })
+                .expect("send");
+        }
+        for _ in 0..1000 {
+            loader.recv().expect("prefill ack");
+        }
+    }
+
+    // The hostile reader: pipeline full-range scans (~800 KB responses)
+    // and never read a byte back.
+    let mut stalled = Client::connect(addr).expect("connect stalled");
+    for _ in 0..30 {
+        stalled
+            .send(ReqBody::Range {
+                lo: 0,
+                hi: u64::MAX,
+                count_only: false,
+            })
+            .expect("send range");
+    }
+
+    // Wait for the slow-reader policy to fire.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let s = loader.stats().expect("stats");
+        if s.slow_reader_disconnects >= 1 {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow-reader disconnect did not fire within 10 s: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(stats.slow_reader_disconnects, 1);
+
+    // Siblings were never starved: the loader connection kept working
+    // the whole time (the stats polls above) and still does.
+    let count = loader.range_count(0, u64::MAX).expect("sibling range");
+    assert_eq!(count, prefill);
+
+    // Bounded memory: the high-water pending-write mark must stay
+    // under the cap plus one maximal response (serving stops the
+    // moment the buffer crosses the cap, so at most one response can
+    // overshoot it). One full-range response is 16 B per entry plus
+    // frame overhead.
+    let one_response = 16 * prefill + 64;
+    let peak = live_stats.snapshot().peak_conn_pending_bytes;
+    assert!(peak > 0, "the stalled connection must have registered");
+    assert!(
+        peak <= write_cap as u64 + one_response,
+        "peak pending {peak} exceeds cap {write_cap} + one response {one_response}"
+    );
+    shutdown.signal();
+}
