@@ -8,7 +8,27 @@
 //! a misconfigured mix reaches it — the drivers reject such mixes with a
 //! [`workload::CapabilityError`] before any operation runs.
 
-use workload::{CapabilityError, Caps, ConcurrentMap, MapSession, Mix};
+use workload::{BatchOp, BatchReport, CapabilityError, Caps, ConcurrentMap, MapSession, Mix};
+
+/// Convert the harness's `u64` batch ops into the core batch type.
+fn to_core_batch(ops: &[BatchOp]) -> Vec<pnb_bst::BatchOp<u64, u64>> {
+    ops.iter()
+        .map(|op| match *op {
+            BatchOp::Get(k) => pnb_bst::BatchOp::Get(k),
+            BatchOp::Insert(k, v) => pnb_bst::BatchOp::Insert(k, v),
+            BatchOp::Upsert(k, v) => pnb_bst::BatchOp::Upsert(k, v),
+            BatchOp::Delete(k) => pnb_bst::BatchOp::Delete(k),
+        })
+        .collect()
+}
+
+/// Convert the core descent telemetry back into the harness type.
+fn from_core_report(r: pnb_bst::BatchReport) -> BatchReport {
+    BatchReport {
+        ops: r.ops,
+        root_descents: r.root_descents,
+    }
+}
 
 /// PNB-BST (the paper's structure).
 #[derive(Default)]
@@ -42,6 +62,11 @@ impl MapSession for PnbSession<'_> {
     }
     fn refresh(&mut self) {
         self.0.refresh()
+    }
+    fn apply_batch(&mut self, ops: &[BatchOp]) -> BatchReport {
+        let (out, r) = self.0.apply_batch_reported(&to_core_batch(ops));
+        std::hint::black_box(out);
+        from_core_report(r)
     }
 }
 
@@ -113,6 +138,11 @@ impl MapSession for ShardedMapSession<'_> {
     }
     fn refresh(&mut self) {
         self.0.refresh()
+    }
+    fn apply_batch(&mut self, ops: &[BatchOp]) -> BatchReport {
+        let (out, r) = self.0.apply_batch_reported(&to_core_batch(ops));
+        std::hint::black_box(out);
+        from_core_report(r)
     }
 }
 
@@ -247,6 +277,7 @@ impl ConcurrentMap for Rw {
             range_scan: true,
             upsert: true,
             snapshot: false,
+            batched: false,
         }
     }
     fn name(&self) -> &'static str {
@@ -296,6 +327,7 @@ impl ConcurrentMap for Mx {
             range_scan: true,
             upsert: true,
             snapshot: false,
+            batched: false,
         }
     }
     fn name(&self) -> &'static str {
@@ -388,6 +420,14 @@ impl Structure {
         dispatch!(self, m => workload::run_open_loop(m, cfg))
     }
 
+    /// [`workload::run_batched_throughput`] on the wrapped map.
+    pub fn run_batched_throughput(
+        &self,
+        cfg: &workload::BatchedRunConfig,
+    ) -> Result<workload::BatchedMeasurement, CapabilityError> {
+        dispatch!(self, m => workload::run_batched_throughput(m, cfg))
+    }
+
     /// [`workload::run_latency`] on the wrapped map.
     pub fn run_latency(
         &self,
@@ -409,6 +449,7 @@ pub fn all_structures(required: Caps) -> Vec<Structure> {
         (!required.range_scan || c.range_scan)
             && (!required.upsert || c.upsert)
             && (!required.snapshot || c.snapshot)
+            && (!required.batched || c.batched)
     };
     [
         Structure::Pnb(Pnb::new()),
@@ -428,6 +469,7 @@ pub fn required_caps(mix: &Mix) -> Caps {
         range_scan: mix.uses_ranges(),
         upsert: mix.uses_upserts(),
         snapshot: false,
+        batched: false,
     }
 }
 
@@ -498,6 +540,40 @@ mod tests {
         let with_upserts = all_structures(required_caps(&Mix::upsert_heavy()));
         assert_eq!(with_upserts.len(), 4);
         assert!(with_upserts.iter().all(|s| s.name() != "nb-bst"));
+    }
+
+    #[test]
+    fn batch_capable_adapters_share_descents() {
+        fn batch<M: ConcurrentMap>(m: &M, native: bool) {
+            assert_eq!(m.capabilities().batched, native, "{}", m.name());
+            let mut s = m.pin();
+            let ops: Vec<BatchOp> = (0..32).map(|k| BatchOp::Upsert(k, k * 10)).collect();
+            let r = s.apply_batch(&ops);
+            assert_eq!(r.ops, 32, "{}", m.name());
+            if native {
+                assert!(
+                    r.root_descents < 32,
+                    "{}: fused batch must share descents ({} descents)",
+                    m.name(),
+                    r.root_descents
+                );
+            } else {
+                assert_eq!(
+                    r.root_descents,
+                    32,
+                    "{}: fallback is one descent/op",
+                    m.name()
+                );
+            }
+            for k in 0..32 {
+                assert_eq!(s.get(&k), Some(k * 10), "{}", m.name());
+            }
+        }
+        batch(&Pnb::new(), true);
+        batch(&Sharded::new(), true);
+        batch(&Sharded::with_shards(1), true);
+        batch(&Rw::new(), false);
+        batch(&Mx::new(), false);
     }
 
     #[test]

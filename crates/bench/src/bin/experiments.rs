@@ -1,7 +1,7 @@
 //! Regenerate the paper-protocol experiment tables (E1–E8, plus the
 //! E8r collector-reclamation, E9 allocator-churn, E10 shard-scaling,
-//! E11 open-loop tail-latency, E12 checkpoint-drag, E14 network-server
-//! and E15 overload-shedding extensions).
+//! E11 open-loop tail-latency, E12 checkpoint-drag, E13 batch-size,
+//! E14 network-server and E15 overload-shedding extensions).
 //!
 //! ```text
 //! cargo run --release -p pnbbst-bench --bin experiments            # full sweep
@@ -50,8 +50,8 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let all = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r", "e9", "e10", "e11", "e12", "e14",
-        "e15",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e8r", "e9", "e10", "e11", "e12", "e13",
+        "e14", "e15",
     ];
     let run_list: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -86,11 +86,12 @@ fn main() {
             "e10" => experiments::e10(&opts, &mut log),
             "e11" => experiments::e11(&opts, &mut log),
             "e12" => experiments::e12(&opts, &mut log),
+            "e13" => experiments::e13(&opts, &mut log),
             "e14" => experiments::e14(&opts, &mut log),
             "e15" => experiments::e15(&opts, &mut log),
             other => {
                 eprintln!(
-                    "unknown experiment: {other} (expected e1..e8, e8r, e9, e10, e11, e12, e14, e15)"
+                    "unknown experiment: {other} (expected e1..e8, e8r, e9, e10, e11, e12, e13, e14, e15)"
                 );
                 std::process::exit(2);
             }

@@ -1,6 +1,6 @@
 //! Experiment definitions E1–E8 plus the E8r collector, E9 allocator,
-//! E10 shard-scaling and E11 open-loop tail-latency extensions (see
-//! DESIGN.md §4): each function runs
+//! E10 shard-scaling, E11 open-loop tail-latency and E13 batch-size
+//! sweep extensions (see DESIGN.md §4): each function runs
 //! one experiment family, renders a markdown section with the same
 //! rows/series the paper's evaluation protocol reports, and appends
 //! machine-readable rows to a [`json::JsonLog`] so CI can record
@@ -1030,6 +1030,109 @@ pub fn e12(opts: &ExpOpts, log: &mut JsonLog) -> String {
     out
 }
 
+/// E13 (extension) — batched + fused hot-path operations: sweep
+/// `apply_batch` batch sizes against the singleton baseline on the
+/// contended update-only mix (50% ins / 50% del over a 1 000-key
+/// uniform space — the mix where descent sharing has the most overlap
+/// to exploit and CAS contention is worst). Batch size 1 through the
+/// batched driver *is* the singleton baseline — identical timing
+/// windows and refresh cadence — so the `vs b=1` column isolates
+/// exactly the batching effects. `ops_per_descent` splits the win into
+/// its mechanism: root-to-leaf walks saved by prefix-stack sharing
+/// (> 1 when fusion engages) vs per-call amortization (pin, pooled
+/// scan stack, combiner). The roster is capability-filtered to
+/// structures declaring [`workload::Caps::batched`] (the PNB tree and
+/// its sharded front-end); everything else would only re-measure the
+/// singleton fallback at 1.0 ops/descent.
+pub fn e13(opts: &ExpOpts, log: &mut JsonLog) -> String {
+    let kr: u64 = 1_000;
+    let mix = Mix::update_only();
+    let batch_sizes: Vec<usize> = if opts.quick {
+        vec![1, 16, 64]
+    } else {
+        vec![1, 4, 16, 64, 256]
+    };
+    let threads = opts.threads();
+    let roster = adapters::all_structures(workload::Caps {
+        range_scan: false,
+        upsert: false,
+        snapshot: false,
+        batched: true,
+    });
+
+    let mut out = format!(
+        "\n### E13 — Batch-size sweep: `apply_batch` vs singleton \
+         (update-only 50i/50d, uniform {kr} keys, contended)\n\n"
+    );
+    out.push_str(
+        "| structure | threads | batch | Mops/s | vs b=1 | ops/descent | p50 batch | p99 batch |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for s in &roster {
+        for &t in &threads {
+            let mut baseline = 0.0f64;
+            for &b in &batch_sizes {
+                eprintln!("  {} / {t} threads / batch {b} ...", s.name());
+                let cfg = workload::BatchedRunConfig::new(
+                    t,
+                    opts.duration(),
+                    KeyDist::uniform(kr),
+                    mix,
+                    b,
+                );
+                // Fresh instance per cell: a batch-size sweep must not
+                // inherit the previous cell's heap or epoch garbage.
+                let cell = s.fresh();
+                let m = cell
+                    .run_batched_throughput(&cfg)
+                    .expect("roster is filtered by Caps::batched; mix is range-free");
+                if b == 1 {
+                    baseline = m.ops_per_sec;
+                }
+                let speedup = if baseline > 0.0 {
+                    m.ops_per_sec / baseline
+                } else {
+                    0.0
+                };
+                log.push(
+                    "e13",
+                    &[
+                        ("structure", Val::s(&m.name)),
+                        ("threads", Val::U(t as u64)),
+                        ("key_range", Val::U(kr)),
+                        ("batch_size", Val::U(m.batch_size as u64)),
+                        ("elapsed_secs", Val::F(m.elapsed_secs)),
+                        ("batches", Val::U(m.batches)),
+                        ("total_ops", Val::U(m.total_ops)),
+                        ("root_descents", Val::U(m.root_descents)),
+                        ("ops_per_descent", Val::F(m.ops_per_descent)),
+                        ("ops_per_sec", Val::F(m.ops_per_sec)),
+                        ("speedup_vs_singleton", Val::F(speedup)),
+                        ("p50_ns", Val::U(m.p50_ns)),
+                        ("p99_ns", Val::U(m.p99_ns)),
+                    ],
+                );
+                out.push_str(&format!(
+                    "| {} | {t} | {b} | {} | {speedup:.2}× | {:.2} | {} | {} |\n",
+                    m.name,
+                    fmt_tput(m.ops_per_sec),
+                    m.ops_per_descent,
+                    fmt_ns(m.p50_ns),
+                    fmt_ns(m.p99_ns),
+                ));
+                pnb_bst::collector_drain(64);
+                pnb_bst::arena_trim(); // heap hygiene between cells
+            }
+        }
+    }
+    out.push_str(
+        "\n*(per-batch latency percentiles: a batch of 64 trades one \
+         longer call for 64 short ones, so compare p99 across batch \
+         sizes per-op, not per-call; `vs b=1` already is per-op)*\n",
+    );
+    out
+}
+
 /// E14 (extension) — the network round trip: open-loop tail latency vs
 /// offered rate through `pnb-server` on loopback. Same engine and
 /// schema as E11, but every operation crosses the full server stack
@@ -1528,6 +1631,24 @@ mod tests {
         assert!(rendered.contains("\"checkpoint_active\": false"));
         assert!(rendered.contains("\"checkpoints\""));
         assert!(rendered.contains("\"interval_p99_max_ns\""));
+    }
+
+    #[test]
+    fn e13_reports_batched_rows_with_descent_sharing() {
+        let mut log = JsonLog::new();
+        let s = e13(&tiny(), &mut log);
+        assert!(s.contains("Batch-size sweep"));
+        assert!(s.contains("pnb-bst"));
+        assert!(s.contains("pnb-sharded"));
+        // 2 batch-capable structures × 3 thread counts × 3 batch sizes
+        // in quick mode.
+        assert_eq!(log.len(), 18);
+        let rendered = log.render("quick", 1);
+        assert!(rendered.contains("\"experiment\": \"e13\""));
+        assert!(rendered.contains("\"batch_size\": 64"));
+        assert!(rendered.contains("\"ops_per_descent\""));
+        assert!(rendered.contains("\"speedup_vs_singleton\""));
+        assert!(rendered.contains("\"p99_ns\""));
     }
 
     #[test]

@@ -399,6 +399,19 @@ impl<T> ScanStack<T> {
         self.buf.pop().map(|p| p as *const T)
     }
 
+    /// Read the entry `i` positions below the top without popping
+    /// (`i == 0` is the top). Used by the batch prefix stack, which
+    /// resumes descents from retained frames rather than consuming them.
+    #[inline]
+    pub(crate) fn peek_from_top(&self, i: usize) -> Option<*const T> {
+        let n = self.buf.len();
+        if i < n {
+            Some(self.buf[n - 1 - i] as *const T)
+        } else {
+            None
+        }
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.buf.len()
     }

@@ -1,0 +1,595 @@
+//! Batched hot-path operations: `multi_get` / `apply_batch` over a
+//! shared descent prefix (DESIGN.md §11).
+//!
+//! A singleton operation pays a full root-to-leaf descent. A batch
+//! sorted by key walks the tree in key order, so consecutive operations
+//! usually share most of their descent path; this module retains the
+//! internal nodes of the previous descent on a pooled stack and resumes
+//! from the deepest frame whose subtree still covers the next key.
+//!
+//! # Why resuming from a retained frame is safe
+//!
+//! Routing fields (`key`, and a node's position once linked) are
+//! immutable (paper Observation 1), so a retained pointer still *routes*
+//! correctly — the only hazard is that a retained node has been detached
+//! from the current tree by a concurrent (or our own) update. Every
+//! detachment in the PNB-BST protocol permanently *marks* the detached
+//! node first (mark permanence, paper Lemma 23), and `validate_leaf`
+//! fails on any frozen parent/grandparent, so an update or read resumed
+//! below a detached frame can never commit: it fails validation,
+//! retreats strictly above the frame it resumed from (see
+//! [`PrefixStack::retreat`] for why popping just one frame is not
+//! enough to guarantee progress) and retries, degenerating to the
+//! singleton root descent in the worst case. Prefix reuse is therefore
+//! purely a performance device — linearizability is still carried
+//! entirely by the freeze-validate-CAS protocol.
+//!
+//! Each operation in the batch re-reads the phase counter, so a batch
+//! does **not** form an atomic multi-op transaction: it linearizes as
+//! the sequence of its constituent operations (duplicate keys resolve in
+//! batch order thanks to the stable sort).
+
+use crossbeam_epoch::{Guard, Shared};
+
+use crate::arena::ScanStack;
+use crate::node::Node;
+use crate::search::SearchTriple;
+use crate::tree::{AttemptOutcome, PnbBst};
+
+/// One operation in an [`apply_batch`](crate::Handle::apply_batch) call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp<K, V> {
+    /// Look up the key (the paper's `Find`).
+    Get(K),
+    /// Set-semantics insert: succeeds iff the key is absent.
+    Insert(K, V),
+    /// Atomic insert-or-replace, returning the displaced value.
+    Upsert(K, V),
+    /// Remove the key, returning its value.
+    Delete(K),
+}
+
+impl<K, V> BatchOp<K, V> {
+    /// The key this operation targets.
+    pub fn key(&self) -> &K {
+        match self {
+            BatchOp::Get(k) | BatchOp::Delete(k) => k,
+            BatchOp::Insert(k, _) | BatchOp::Upsert(k, _) => k,
+        }
+    }
+}
+
+/// Per-operation result of a batch, positionally matching the input
+/// slice (results are scattered back to submission order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome<V> {
+    /// Result of a [`BatchOp::Get`].
+    Get(Option<V>),
+    /// Result of a [`BatchOp::Insert`]: `true` iff the key was absent.
+    Inserted(bool),
+    /// Result of a [`BatchOp::Upsert`]: the displaced value.
+    Upserted(Option<V>),
+    /// Result of a [`BatchOp::Delete`]: the removed value.
+    Removed(Option<V>),
+}
+
+/// Descent-sharing telemetry for batch calls: how many operations ran
+/// and how many of them had to start their descent from the root. The
+/// ratio is the direct measure of the prefix sharing the batch API
+/// exists for (experiment E13's `ops_per_descent` column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Operations executed.
+    pub ops: u64,
+    /// Descents that started at the root (no reusable prefix frame).
+    pub root_descents: u64,
+}
+
+impl BatchReport {
+    /// Operations amortized per root descent (`ops == root_descents`
+    /// means no sharing happened; higher is better).
+    pub fn ops_per_descent(&self) -> f64 {
+        if self.root_descents == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.root_descents as f64
+        }
+    }
+
+    /// Accumulate another report into this one.
+    pub fn merge(&mut self, other: BatchReport) {
+        self.ops += other.ops;
+        self.root_descents += other.root_descents;
+    }
+}
+
+/// Retained descent prefix: frames of `(node, hi)` pairs flattened into
+/// one pooled [`ScanStack`] buffer (`node` below `hi`). `node` is an
+/// internal node on the previous descent path; `hi` is its exclusive
+/// upper bound — the nearest ancestor the path went *left* at (null for
+/// the root frame, which is never popped). A frame covers key `k` iff
+/// `k < hi.key`; bounds tighten monotonically with depth, so checking
+/// the top frame suffices.
+struct PrefixStack<K, V> {
+    buf: ScanStack<Node<K, V>>,
+    /// Frame count at the most recent resume point (recorded by
+    /// [`PnbBst::descend_shared`] after its bound-popping, before the
+    /// descent pushes deeper frames). [`retreat`](Self::retreat) uses it
+    /// to guarantee each failed attempt resumes strictly shallower.
+    resume: usize,
+}
+
+impl<K, V> PrefixStack<K, V> {
+    fn new() -> Self {
+        PrefixStack {
+            buf: ScanStack::new(),
+            resume: 0,
+        }
+    }
+
+    fn frames(&self) -> usize {
+        self.buf.len() / 2
+    }
+
+    /// Retreat strictly above the last resume point after a failed
+    /// attempt. Popping only the top frame would not be enough: the
+    /// failed descent re-pushes the frames it traverses, so from a
+    /// permanently detached (marked) resume frame a pop-one policy
+    /// re-descends the same dead subtree forever. Truncating to one
+    /// frame *above* the resume point instead makes every retry resume
+    /// strictly shallower, bottoming out at an empty stack — a fresh
+    /// root descent — after at most `depth` failures.
+    fn retreat(&mut self) {
+        let target = self.resume.saturating_sub(1);
+        while self.frames() > target {
+            self.pop();
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.len() == 0
+    }
+
+    #[inline]
+    fn push(&mut self, node: *const Node<K, V>, hi: *const Node<K, V>) {
+        self.buf.push(node);
+        self.buf.push(hi);
+    }
+
+    #[inline]
+    fn pop(&mut self) {
+        self.buf.pop();
+        self.buf.pop();
+    }
+
+    /// `(node, hi)` of the top frame. Callers check `is_empty` first.
+    #[inline]
+    fn top(&self) -> (*const Node<K, V>, *const Node<K, V>) {
+        let hi = self.buf.peek_from_top(0).expect("non-empty prefix stack");
+        let node = self.buf.peek_from_top(1).expect("frames are pairs");
+        (node, hi)
+    }
+
+    /// The `node` of the frame one below the top (the resume point's
+    /// parent), if any.
+    #[inline]
+    fn parent_of_top(&self) -> Option<*const Node<K, V>> {
+        self.buf.peek_from_top(3)
+    }
+}
+
+/// Consecutive failed attempts on one batch operation before falling
+/// back to the gated singleton driver (which may flat-combine).
+const BATCH_COMBINE_GATE: u32 = 4;
+
+impl<K, V> PnbBst<K, V>
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+{
+    /// Batched `Find` under a caller-provided guard: results in
+    /// submission order.
+    pub(crate) fn multi_get_in(
+        &self,
+        keys: &[K],
+        guard: &Guard,
+        report: &mut BatchReport,
+    ) -> Vec<Option<V>> {
+        report.ops += keys.len() as u64;
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        let mut stack: PrefixStack<K, V> = PrefixStack::new();
+        for &oi in &order {
+            let k = &keys[oi as usize];
+            loop {
+                let seq = self.read_phase();
+                let (gp, p, l) = self.descend_shared(k, seq, &mut stack, report, guard);
+                // SAFETY: descend_shared returns non-null p and l.
+                let p_ref = unsafe { p.deref() };
+                if self.validate_leaf(gp, p_ref, l, k, guard).is_some() {
+                    let l_ref = unsafe { l.deref() };
+                    if l_ref.key.fin_eq(k) {
+                        out[oi as usize] = l_ref.value.clone();
+                    }
+                    break;
+                }
+                self.stats.validation_failures();
+                stack.retreat(); // resume strictly shallower next time
+            }
+        }
+        out
+    }
+
+    /// Batched mixed updates under a caller-provided guard: outcomes in
+    /// submission order; duplicate keys resolve in batch order (stable
+    /// sort).
+    pub(crate) fn apply_batch_in(
+        &self,
+        ops: &[BatchOp<K, V>],
+        guard: &Guard,
+        report: &mut BatchReport,
+    ) -> Vec<BatchOutcome<V>> {
+        report.ops += ops.len() as u64;
+        let mut order: Vec<u32> = (0..ops.len() as u32).collect();
+        order.sort_by(|&a, &b| ops[a as usize].key().cmp(ops[b as usize].key()));
+        let mut out: Vec<Option<BatchOutcome<V>>> = (0..ops.len()).map(|_| None).collect();
+        let mut stack: PrefixStack<K, V> = PrefixStack::new();
+        for &oi in &order {
+            let op = &ops[oi as usize];
+            out[oi as usize] = Some(self.apply_one_shared(op, &mut stack, report, guard));
+        }
+        out.into_iter()
+            .map(|r| r.expect("every op produced an outcome"))
+            .collect()
+    }
+
+    /// Drive one batch operation to completion from the shared prefix.
+    fn apply_one_shared(
+        &self,
+        op: &BatchOp<K, V>,
+        stack: &mut PrefixStack<K, V>,
+        report: &mut BatchReport,
+        guard: &Guard,
+    ) -> BatchOutcome<V> {
+        let mut failures = 0u32;
+        loop {
+            let k = op.key();
+            let seq = self.read_phase();
+            let (gp, p, l) = self.descend_shared(k, seq, stack, report, guard);
+            match op {
+                BatchOp::Get(k) => {
+                    let p_ref = unsafe { p.deref() };
+                    if self.validate_leaf(gp, p_ref, l, k, guard).is_some() {
+                        let l_ref = unsafe { l.deref() };
+                        let v = if l_ref.key.fin_eq(k) {
+                            l_ref.value.clone()
+                        } else {
+                            None
+                        };
+                        return BatchOutcome::Get(v);
+                    }
+                    self.stats.validation_failures();
+                }
+                BatchOp::Insert(k, v) => match self.insert_attempt_at(k, v, gp, p, l, seq, guard) {
+                    AttemptOutcome::Decided(r) => return BatchOutcome::Inserted(r),
+                    AttemptOutcome::Published { info, commit } => {
+                        if self.finish_published(info, guard) {
+                            return BatchOutcome::Inserted(commit);
+                        }
+                    }
+                    AttemptOutcome::Retry => {}
+                },
+                BatchOp::Upsert(k, v) => match self.upsert_attempt_at(k, v, gp, p, l, seq, guard) {
+                    AttemptOutcome::Decided(r) => return BatchOutcome::Upserted(r),
+                    AttemptOutcome::Published { info, commit } => {
+                        if self.finish_published(info, guard) {
+                            return BatchOutcome::Upserted(commit);
+                        }
+                    }
+                    AttemptOutcome::Retry => {
+                        // A hot single key can starve the whole batch;
+                        // past the gate, route through the contention-
+                        // aware singleton driver (which may combine).
+                        if failures + 1 >= BATCH_COMBINE_GATE {
+                            return BatchOutcome::Upserted(self.upsert_in(k, v, guard));
+                        }
+                    }
+                },
+                BatchOp::Delete(k) => match self.delete_attempt_at(k, gp, p, l, seq, guard) {
+                    AttemptOutcome::Decided(r) => return BatchOutcome::Removed(r),
+                    AttemptOutcome::Published { info, commit } => {
+                        if self.finish_published(info, guard) {
+                            // The committed delete detached p (the top
+                            // frame): drop it so the next op does not
+                            // pay a guaranteed validation failure.
+                            stack.pop();
+                            return BatchOutcome::Removed(commit);
+                        }
+                    }
+                    AttemptOutcome::Retry => {}
+                },
+            }
+            failures += 1;
+            stack.retreat(); // resume strictly shallower next time
+        }
+    }
+
+    /// Resume a search for `k` from the retained prefix (root descent if
+    /// the stack is empty), pushing every internal node traversed.
+    ///
+    /// Frames are popped first until the top frame's `hi` bound covers
+    /// `k`; because the batch is processed in ascending key order, the
+    /// direction previously taken at every retained ancestor is still
+    /// the direction a fresh search for `k` would take (left-descent
+    /// ancestors bound `k` from above via `hi`; right-descent ancestors
+    /// have keys `≤` an earlier batch key `≤ k`).
+    fn descend_shared<'g>(
+        &self,
+        k: &K,
+        seq: u64,
+        stack: &mut PrefixStack<K, V>,
+        report: &mut BatchReport,
+        guard: &'g Guard,
+    ) -> SearchTriple<'g, K, V> {
+        if stack.is_empty() {
+            stack.push(self.root, std::ptr::null());
+            report.root_descents += 1;
+        } else {
+            loop {
+                let (_, hi) = stack.top();
+                if hi.is_null() {
+                    break; // root frame: covers every key
+                }
+                // SAFETY: `hi` was reached by a descent under this
+                // pinned guard; keys are immutable (Observation 1).
+                if unsafe { (*hi).key.fin_lt(k) } {
+                    break; // k < hi.key: subtree still covers k
+                }
+                stack.pop();
+            }
+        }
+        stack.resume = stack.frames(); // retreat target on failure
+        let (p_raw, mut hi) = stack.top();
+        let mut gp: Shared<'g, Node<K, V>> = match stack.parent_of_top() {
+            Some(g) => Shared::from(g),
+            None => Shared::null(),
+        };
+        let mut p: Shared<'g, Node<K, V>> = Shared::from(p_raw);
+        // SAFETY: frames hold internal nodes read under this guard.
+        let p_ref = unsafe { &*p_raw };
+        let mut left = p_ref.key.fin_lt(k);
+        let mut l = self.read_child(p_ref, left, seq, guard);
+        loop {
+            // SAFETY: read_child returns non-null reachable nodes.
+            let l_ref = unsafe { l.deref() };
+            if l_ref.leaf {
+                break;
+            }
+            // Descending left tightens the bound to the node we leave.
+            let child_hi = if left { p.as_raw() } else { hi };
+            gp = p;
+            p = l;
+            hi = child_hi;
+            stack.push(p.as_raw(), child_hi);
+            left = l_ref.key.fin_lt(k);
+            l = self.read_child(l_ref, left, seq, guard);
+        }
+        (gp, p, l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn batch_tree(n: u32) -> PnbBst<u32, u32> {
+        let t = PnbBst::new();
+        for k in 0..n {
+            t.insert(k * 2, k * 20);
+        }
+        t
+    }
+
+    #[test]
+    fn multi_get_matches_singletons_and_shares_descents() {
+        let t = batch_tree(256);
+        let h = t.pin();
+        let keys: Vec<u32> = (0..512).collect();
+        let (got, report) = h.multi_get_reported(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(got[i], h.get(k), "key {k}");
+        }
+        assert_eq!(report.ops, 512);
+        assert!(
+            report.root_descents < report.ops,
+            "a sorted batch over a warm tree must share descents: {report:?}"
+        );
+    }
+
+    #[test]
+    fn multi_get_unsorted_input_keeps_submission_order() {
+        let t = batch_tree(64);
+        let h = t.pin();
+        let keys: Vec<u32> = vec![100, 0, 62, 2, 200, 62];
+        let got = h.multi_get(&keys);
+        assert_eq!(
+            got,
+            keys.iter().map(|k| h.get(k)).collect::<Vec<_>>(),
+            "results must be scattered back to submission order"
+        );
+    }
+
+    #[test]
+    fn apply_batch_matches_btreemap_oracle() {
+        let t: PnbBst<u32, u64> = PnbBst::new();
+        let h = t.pin();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut x: u64 = 0xFEED_5EED;
+        for round in 0..40 {
+            let mut ops = Vec::new();
+            for i in 0..50u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let k = ((x >> 33) % 48) as u32;
+                let v = round * 1000 + i;
+                ops.push(match (x >> 13) % 4 {
+                    0 => BatchOp::Get(k),
+                    1 => BatchOp::Insert(k, v),
+                    2 => BatchOp::Upsert(k, v),
+                    _ => BatchOp::Delete(k),
+                });
+            }
+            let outs = h.apply_batch(&ops);
+            for (op, out) in ops.iter().zip(&outs) {
+                match (op, out) {
+                    (BatchOp::Get(k), BatchOutcome::Get(v)) => {
+                        assert_eq!(*v, model.get(k).copied(), "get {k}");
+                    }
+                    (BatchOp::Insert(k, v), BatchOutcome::Inserted(ok)) => {
+                        assert_eq!(*ok, !model.contains_key(k), "insert {k}");
+                        model.entry(*k).or_insert(*v);
+                    }
+                    (BatchOp::Upsert(k, v), BatchOutcome::Upserted(old)) => {
+                        assert_eq!(*old, model.insert(*k, *v), "upsert {k}");
+                    }
+                    (BatchOp::Delete(k), BatchOutcome::Removed(old)) => {
+                        assert_eq!(*old, model.remove(k), "delete {k}");
+                    }
+                    _ => panic!("outcome variant must match op variant"),
+                }
+            }
+        }
+        assert_eq!(t.check_invariants(), model.len());
+        let snap: Vec<(u32, u64)> = h.range(..).collect();
+        assert_eq!(snap, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_in_batch_order() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        let h = t.pin();
+        let ops = vec![
+            BatchOp::Upsert(7, 1),
+            BatchOp::Upsert(7, 2),
+            BatchOp::Get(7),
+            BatchOp::Delete(7),
+            BatchOp::Insert(7, 3),
+            BatchOp::Upsert(7, 4),
+        ];
+        let outs = h.apply_batch(&ops);
+        assert_eq!(
+            outs,
+            vec![
+                BatchOutcome::Upserted(None),
+                BatchOutcome::Upserted(Some(1)),
+                BatchOutcome::Get(Some(2)),
+                BatchOutcome::Removed(Some(2)),
+                BatchOutcome::Inserted(true),
+                BatchOutcome::Upserted(Some(3)),
+            ]
+        );
+        assert_eq!(h.get(&7), Some(4));
+    }
+
+    #[test]
+    fn batch_of_deletes_drains_the_tree() {
+        let t = batch_tree(128);
+        let h = t.pin();
+        let ops: Vec<BatchOp<u32, u32>> = (0..128).map(|k| BatchOp::Delete(k * 2)).collect();
+        let (outs, report) = h.apply_batch_reported(&ops);
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(*out, BatchOutcome::Removed(Some(i as u32 * 20)));
+        }
+        assert_eq!(report.ops, 128);
+        assert_eq!(t.check_invariants(), 0);
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        let h = t.pin();
+        let (got, r1) = h.multi_get_reported(&[]);
+        assert!(got.is_empty());
+        assert_eq!(r1, BatchReport::default());
+        assert_eq!(r1.ops_per_descent(), 0.0);
+        let (outs, r2) = h.apply_batch_reported(&[]);
+        assert!(outs.is_empty());
+        assert_eq!(r2, BatchReport::default());
+    }
+
+    #[test]
+    fn batches_interleave_with_scans_and_snapshots() {
+        // Phase bumps between ops of one batch must not confuse the
+        // per-op fresh phase reads.
+        let t: PnbBst<u32, u32> = PnbBst::new();
+        let h = t.pin();
+        let ops: Vec<BatchOp<u32, u32>> = (0..64).map(|k| BatchOp::Upsert(k, k)).collect();
+        h.apply_batch(&ops);
+        let snap = t.snapshot();
+        let ops2: Vec<BatchOp<u32, u32>> = (0..64).map(|k| BatchOp::Upsert(k, k + 100)).collect();
+        let outs = h.apply_batch(&ops2);
+        for (k, out) in outs.iter().enumerate() {
+            assert_eq!(*out, BatchOutcome::Upserted(Some(k as u32)));
+        }
+        // The snapshot still sees the pre-batch values.
+        for k in 0..64 {
+            assert_eq!(snap.get(&k), Some(k));
+        }
+        assert_eq!(t.check_invariants(), 64);
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = BatchReport {
+            ops: 10,
+            root_descents: 2,
+        };
+        a.merge(BatchReport {
+            ops: 6,
+            root_descents: 1,
+        });
+        assert_eq!(a.ops, 16);
+        assert_eq!(a.root_descents, 3);
+        assert!((a.ops_per_descent() - 16.0 / 3.0).abs() < 1e-9);
+    }
+
+    /// Liveness regression: retreating only one frame per validation
+    /// failure is not enough, because the failed re-descent pushes the
+    /// frames it traverses back — from a permanently detached (marked)
+    /// resume frame, a pop-one policy re-walks the same dead subtree
+    /// forever. Two update-only writers on a small key space reproduced
+    /// the livelock within milliseconds; with the retreat-above-resume
+    /// rule every retry chain bottoms out at a fresh root descent.
+    #[test]
+    fn contended_batches_stay_live_across_detached_prefixes() {
+        let t: std::sync::Arc<PnbBst<u32, u32>> = std::sync::Arc::new(PnbBst::new());
+        std::thread::scope(|s| {
+            for tid in 0..2u64 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    let h = t.pin();
+                    let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid + 1);
+                    for round in 0..1_500u32 {
+                        let mut ops = Vec::with_capacity(4);
+                        for _ in 0..4 {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let k = ((x >> 33) % 64) as u32;
+                            ops.push(if (x >> 13) & 1 == 0 {
+                                BatchOp::Insert(k, round)
+                            } else {
+                                BatchOp::Delete(k)
+                            });
+                        }
+                        h.apply_batch(&ops);
+                    }
+                });
+            }
+        });
+        t.check_invariants();
+    }
+}

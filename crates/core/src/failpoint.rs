@@ -1,0 +1,77 @@
+//! In-process failpoint hooks (compiled in with the `failpoints`
+//! feature; zero-cost otherwise).
+//!
+//! A test registers a closure under a well-known point name and the
+//! production code calls [`hit`] at that point — used to stall the
+//! flat-combining drain pass (`"combine::drain"`) and prove the
+//! publication protocol cannot wedge behind a stuck combiner. Unlike
+//! the server crate's probability-based `PNB_FAILPOINTS` environment
+//! hooks, these are deterministic and programmatic: the registering
+//! test owns exactly when and how the point fires.
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type Hook = Arc<dyn Fn() + Send + Sync>;
+
+    fn registry() -> &'static Mutex<HashMap<&'static str, Hook>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Hook>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Install `f` at `point`, replacing any previous hook.
+    pub fn set(point: &'static str, f: impl Fn() + Send + Sync + 'static) {
+        registry().lock().unwrap().insert(point, Arc::new(f));
+    }
+
+    /// Remove the hook at `point` (no-op if none is installed).
+    pub fn clear(point: &str) {
+        registry().lock().unwrap().remove(point);
+    }
+
+    pub(crate) fn hit(point: &str) {
+        // Clone out of the lock so a long-running hook (a deliberate
+        // stall) never blocks other points.
+        let hook = registry().lock().unwrap().get(point).cloned();
+        if let Some(h) = hook {
+            h();
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{clear, set};
+
+/// Fire the hook at `point`, if one is registered. Compiles to nothing
+/// without the `failpoints` feature.
+#[inline]
+pub(crate) fn hit(point: &str) {
+    #[cfg(feature = "failpoints")]
+    imp::hit(point);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = point;
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn hooks_fire_and_clear() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        super::set("test::point", move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        super::hit("test::point");
+        super::hit("test::point");
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+        super::clear("test::point");
+        super::hit("test::point");
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+        super::hit("test::unregistered"); // silently ignored
+    }
+}

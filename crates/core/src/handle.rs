@@ -18,6 +18,7 @@
 use crossbeam_epoch::{self as epoch, Guard};
 use std::ops::RangeBounds;
 
+use crate::batch::{BatchOp, BatchOutcome, BatchReport};
 use crate::iter::{cloned_bounds, Range};
 use crate::snapshot::Snapshot;
 use crate::tree::PnbBst;
@@ -104,6 +105,50 @@ where
     /// Remove `key`, returning its value. See [`PnbBst::remove`].
     pub fn remove(&self, key: &K) -> Option<V> {
         self.tree.remove_in(key, &self.guard)
+    }
+
+    /// Batched lookup: one `Option<V>` per key, in submission order.
+    ///
+    /// The keys are processed in sorted order against a shared descent
+    /// prefix, so a batch over clustered keys performs far fewer
+    /// root-to-leaf walks than the equivalent [`get`](Self::get) loop;
+    /// each lookup still linearizes individually (see `DESIGN.md` §11).
+    pub fn multi_get(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut report = BatchReport::default();
+        self.tree.multi_get_in(keys, &self.guard, &mut report)
+    }
+
+    /// [`multi_get`](Self::multi_get) plus descent-sharing telemetry.
+    pub fn multi_get_reported(&self, keys: &[K]) -> (Vec<Option<V>>, BatchReport) {
+        let mut report = BatchReport::default();
+        let out = self.tree.multi_get_in(keys, &self.guard, &mut report);
+        (out, report)
+    }
+
+    /// Apply a mixed batch of operations, returning one
+    /// [`BatchOutcome`] per operation in submission order.
+    ///
+    /// The batch is stable-sorted by key (duplicates resolve in batch
+    /// order) and executed against a shared descent prefix; on a CAS or
+    /// validation failure an operation re-descends from the deepest
+    /// still-valid ancestor, falling back to the root. A batch is a
+    /// *sequence* of individually-linearizable operations, not an
+    /// atomic transaction (`DESIGN.md` §11).
+    pub fn apply_batch(&self, ops: &[BatchOp<K, V>]) -> Vec<BatchOutcome<V>> {
+        let mut report = BatchReport::default();
+        self.tree.apply_batch_in(ops, &self.guard, &mut report)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) plus descent-sharing
+    /// telemetry ([`BatchReport::ops_per_descent`] is experiment E13's
+    /// figure of merit).
+    pub fn apply_batch_reported(
+        &self,
+        ops: &[BatchOp<K, V>],
+    ) -> (Vec<BatchOutcome<V>>, BatchReport) {
+        let mut report = BatchReport::default();
+        let out = self.tree.apply_batch_in(ops, &self.guard, &mut report);
+        (out, report)
     }
 
     /// Wait-free lazy range query over any [`RangeBounds`] — `..`,

@@ -111,11 +111,27 @@
 //! * `testing-internals` — deterministic fault injection
 //!   (`testing::PausedUpdate`): suspend an update right after it
 //!   becomes visible, to exercise helping and crash tolerance.
+//! * `failpoints` — programmatic failpoint hooks (`failpoint::set`),
+//!   used by the flat-combining battery to stall a combiner at a chosen
+//!   point. Off by default; zero-cost when disabled.
+//!
+//! ## Batched operations
+//!
+//! [`Handle::multi_get`] and [`Handle::apply_batch`] amortize one epoch
+//! pin and a shared descent prefix across a key-sorted batch; see
+//! `DESIGN.md` §11 for the linearization contract (a batch is a
+//! sequence of singleton operations, not a transaction).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod arena;
+mod batch;
+mod combine;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
+#[cfg(not(feature = "failpoints"))]
+mod failpoint;
 mod handle;
 mod help;
 mod info;
@@ -134,6 +150,7 @@ mod validate;
 #[cfg(feature = "testing-internals")]
 pub mod testing;
 
+pub use batch::{BatchOp, BatchOutcome, BatchReport};
 pub use handle::Handle;
 pub use iter::Range;
 pub use key::SKey;

@@ -769,6 +769,7 @@ where
             counter: CachePadded::new(AtomicU64::new(0)),
             dummy,
             stats: Stats::default(),
+            combine: crate::combine::PubList::new(),
         }
     }
 }

@@ -14,6 +14,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::atomic::Ordering::{Acquire, Relaxed};
 
 use crate::arena;
+use crate::combine::{PubList, COMBINE_GATE};
 use crate::info::{Info, InfoPtr, NodePtr, OpKind, UpdateWord};
 use crate::key::SKey;
 use crate::node::Node;
@@ -60,6 +61,9 @@ pub struct PnbBst<K, V> {
     /// The per-tree Dummy `Info` object (state permanently `Abort`).
     pub(crate) dummy: InfoPtr<K, V>,
     pub(crate) stats: Stats,
+    /// Publication list for the flat-combining upsert fallback
+    /// (DESIGN.md §11.3); engaged only past the contention gate.
+    pub(crate) combine: PubList<K, V>,
 }
 
 // SAFETY: the structure is designed for concurrent use — all shared
@@ -140,6 +144,7 @@ where
             counter: CachePadded::new(AtomicU64::new(0)),
             dummy,
             stats: Stats::default(),
+            combine: PubList::new(),
         }
     }
 
@@ -167,7 +172,7 @@ where
     /// SeqCst handshake re-confirms the phase — so the scan-handshake
     /// total order is not needed here.
     #[inline]
-    fn read_phase(&self) -> u64 {
+    pub(crate) fn read_phase(&self) -> u64 {
         self.counter.load(Acquire)
     }
 
@@ -308,8 +313,38 @@ where
         }
     }
 
-    /// Full `Upsert` driver under a caller-provided guard.
+    /// Full `Upsert` driver under a caller-provided guard, with the
+    /// flat-combining fallback: past [`COMBINE_GATE`] consecutive failed
+    /// attempts (the observable signature of a hot leaf being CAS-fought
+    /// over), the operation publishes itself on the tree's publication
+    /// list and lets one combiner drain the hot key's queued updates in
+    /// a single Execute cycle (DESIGN.md §11.3).
     pub(crate) fn upsert_in(&self, key: &K, value: &V, guard: &Guard) -> Option<V> {
+        let mut consecutive_failures = 0u32;
+        loop {
+            match self.upsert_attempt(key, value, guard) {
+                AttemptOutcome::Decided(r) => return r,
+                AttemptOutcome::Published { info, commit } => {
+                    if self.finish_published(info, guard) {
+                        return commit;
+                    }
+                }
+                AttemptOutcome::Retry => {}
+            }
+            consecutive_failures += 1;
+            if consecutive_failures >= COMBINE_GATE {
+                if let Some(displaced) = self.try_combine(key, value, guard) {
+                    return displaced;
+                }
+                consecutive_failures = 0; // combining declined: back off to CAS
+            }
+        }
+    }
+
+    /// The ungated `Upsert` driver: used by the combiner itself (which
+    /// must never recurse into combining) and anywhere the publication
+    /// path is unwanted.
+    pub(crate) fn upsert_plain_in(&self, key: &K, value: &V, guard: &Guard) -> Option<V> {
         loop {
             match self.upsert_attempt(key, value, guard) {
                 AttemptOutcome::Decided(r) => return r,
@@ -330,10 +365,27 @@ where
         value: &V,
         guard: &Guard,
     ) -> AttemptOutcome<bool, K, V> {
-        self.stats.update_attempts();
         let seq = self.read_phase(); // line 155
         let (gp, p, l) = self.search(key, seq, guard); // line 156
+        self.insert_attempt_at(key, value, gp, p, l, seq, guard)
+    }
 
+    /// The post-search half of an `Insert` attempt, for callers that
+    /// located `(gp, p, l)` themselves (the batch prefix-sharing path):
+    /// validation onward. The triple may be stale — validation is the
+    /// safety net either way.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn insert_attempt_at(
+        &self,
+        key: &K,
+        value: &V,
+        gp: Shared<'_, Node<K, V>>,
+        p: Shared<'_, Node<K, V>>,
+        l: Shared<'_, Node<K, V>>,
+        seq: u64,
+        guard: &Guard,
+    ) -> AttemptOutcome<bool, K, V> {
+        self.stats.update_attempts();
         // SAFETY: non-null per Invariant 4.8.
         let p_ref = unsafe { p.deref() };
         let l_ref = unsafe { l.deref() };
@@ -414,10 +466,25 @@ where
         value: &V,
         guard: &Guard,
     ) -> AttemptOutcome<Option<V>, K, V> {
-        self.stats.update_attempts();
         let seq = self.read_phase();
         let (gp, p, l) = self.search(key, seq, guard);
+        self.upsert_attempt_at(key, value, gp, p, l, seq, guard)
+    }
 
+    /// The post-search half of an `Upsert` attempt (see
+    /// [`insert_attempt_at`](Self::insert_attempt_at)).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn upsert_attempt_at(
+        &self,
+        key: &K,
+        value: &V,
+        gp: Shared<'_, Node<K, V>>,
+        p: Shared<'_, Node<K, V>>,
+        l: Shared<'_, Node<K, V>>,
+        seq: u64,
+        guard: &Guard,
+    ) -> AttemptOutcome<Option<V>, K, V> {
+        self.stats.update_attempts();
         // SAFETY: non-null per Invariant 4.8.
         let p_ref = unsafe { p.deref() };
         let l_ref = unsafe { l.deref() };
@@ -425,6 +492,10 @@ where
             self.stats.validation_failures();
             return AttemptOutcome::Retry;
         };
+        // Failpoint between validation and the freeze CAS: lets tests
+        // widen the race window (a yield here on a small machine makes
+        // contended CAS failures reproducible). No-op in normal builds.
+        crate::failpoint::hit("upsert::pre_publish");
         let (kind, new_child, displaced) = if l_ref.key.fin_eq(key) {
             // Replace shape: one fresh leaf, prev = the old leaf, so
             // version-`seq` readers still reach the displaced value.
@@ -465,10 +536,23 @@ where
 
     /// One `Delete` attempt (paper lines 169–195, one pass of the loop).
     pub(crate) fn delete_attempt(&self, key: &K, guard: &Guard) -> AttemptOutcome<Option<V>, K, V> {
-        self.stats.update_attempts();
         let seq = self.read_phase(); // line 177
         let (gp, p, l) = self.search(key, seq, guard); // line 178
+        self.delete_attempt_at(key, gp, p, l, seq, guard)
+    }
 
+    /// The post-search half of a `Delete` attempt (see
+    /// [`insert_attempt_at`](Self::insert_attempt_at)).
+    pub(crate) fn delete_attempt_at(
+        &self,
+        key: &K,
+        gp: Shared<'_, Node<K, V>>,
+        p: Shared<'_, Node<K, V>>,
+        l: Shared<'_, Node<K, V>>,
+        seq: u64,
+        guard: &Guard,
+    ) -> AttemptOutcome<Option<V>, K, V> {
+        self.stats.update_attempts();
         // SAFETY: non-null per Invariant 4.9.
         let p_ref = unsafe { p.deref() };
         let l_ref = unsafe { l.deref() };

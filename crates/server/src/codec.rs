@@ -17,8 +17,8 @@
 //! error frame and (for framing errors) closes that one connection.
 
 use crate::proto::{
-    flags, Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire, StatusCode, HEADER_LEN,
-    MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION,
+    flags, BatchSubOp, BatchSubResult, Opcode, ReqBody, Request, RespBody, Response,
+    ServerStatsWire, StatusCode, HEADER_LEN, MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 
 /// A reassembled raw frame: header fields plus the payload bytes.
@@ -211,6 +211,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 fl |= flags::COUNT_ONLY;
             }
         }
+        ReqBody::Batch { ops } => {
+            payload.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                let (sub, body) = encode_batch_sub_op(op);
+                payload.push(sub);
+                payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                payload.extend_from_slice(&body);
+            }
+        }
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     put_header(
@@ -223,6 +232,85 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     );
     out.extend_from_slice(&payload);
     out
+}
+
+/// Serialize one batch sub-operation: its sub-opcode byte plus body.
+/// [`BatchSubOp::Malformed`] serializes under the reserved sub-opcode
+/// `0xFF` (the decoder flags it malformed again) — it exists so a
+/// captured batch can be re-sent for diagnostics, not to roundtrip.
+fn encode_batch_sub_op(op: &BatchSubOp) -> (u8, Vec<u8>) {
+    match op {
+        BatchSubOp::Get { key } => (Opcode::Get as u8, key.to_le_bytes().to_vec()),
+        BatchSubOp::Contains { key } => (Opcode::Contains as u8, key.to_le_bytes().to_vec()),
+        BatchSubOp::Delete { key } => (Opcode::Delete as u8, key.to_le_bytes().to_vec()),
+        BatchSubOp::Insert { key, value } | BatchSubOp::Upsert { key, value } => {
+            let mut body = Vec::with_capacity(16);
+            body.extend_from_slice(&key.to_le_bytes());
+            body.extend_from_slice(&value.to_le_bytes());
+            let sub = if matches!(op, BatchSubOp::Insert { .. }) {
+                Opcode::Insert
+            } else {
+                Opcode::Upsert
+            };
+            (sub as u8, body)
+        }
+        BatchSubOp::Malformed { msg, .. } => (0xFF, msg.as_bytes().to_vec()),
+    }
+}
+
+/// Type one batch sub-frame. Sub-op failures never fail the whole
+/// batch: an unknown sub-opcode, a non-point sub-opcode, or a body of
+/// the wrong shape decodes to [`BatchSubOp::Malformed`], which the
+/// handler answers with a per-slot error while its siblings execute.
+/// (Structural failures of the *outer* payload — counts and lengths
+/// that disagree — are whole-frame [`StatusCode::BadPayload`] instead,
+/// handled by the caller: there is no trustworthy slot to pin them on.)
+fn decode_batch_sub_op(sub: u8, body: &[u8]) -> BatchSubOp {
+    let malformed = |code: StatusCode, msg: String| BatchSubOp::Malformed { code, msg };
+    match Opcode::from_u8(sub) {
+        Some(op @ (Opcode::Get | Opcode::Contains | Opcode::Delete)) => {
+            if body.len() != 8 {
+                return malformed(
+                    StatusCode::BadPayload,
+                    format!(
+                        "sub-op {sub:#04x}: expected 8-byte key, got {} bytes",
+                        body.len()
+                    ),
+                );
+            }
+            let key = u64_at(body, 0);
+            match op {
+                Opcode::Get => BatchSubOp::Get { key },
+                Opcode::Contains => BatchSubOp::Contains { key },
+                _ => BatchSubOp::Delete { key },
+            }
+        }
+        Some(op @ (Opcode::Insert | Opcode::Upsert)) => {
+            if body.len() != 16 {
+                return malformed(
+                    StatusCode::BadPayload,
+                    format!(
+                        "sub-op {sub:#04x}: expected 16-byte key+value, got {} bytes",
+                        body.len()
+                    ),
+                );
+            }
+            let (key, value) = (u64_at(body, 0), u64_at(body, 1));
+            if op == Opcode::Insert {
+                BatchSubOp::Insert { key, value }
+            } else {
+                BatchSubOp::Upsert { key, value }
+            }
+        }
+        Some(op) => malformed(
+            StatusCode::BadOpcode,
+            format!("opcode {op:?} ({sub:#04x}) is not batchable"),
+        ),
+        None => malformed(
+            StatusCode::BadOpcode,
+            format!("unknown sub-opcode {sub:#04x}"),
+        ),
+    }
 }
 
 /// Encode a response frame. `opcode` echoes the request's opcode so the
@@ -270,6 +358,39 @@ pub fn encode_response(opcode: Opcode, resp: &Response) -> Vec<u8> {
             payload.extend_from_slice(&(s.shard_ops.len() as u64).to_le_bytes());
             for ops in &s.shard_ops {
                 payload.extend_from_slice(&ops.to_le_bytes());
+            }
+        }
+        RespBody::BatchResults(results) => {
+            payload.extend_from_slice(&(results.len() as u32).to_le_bytes());
+            for r in results {
+                // Sub-opcode byte discriminates the Ok body shapes:
+                // Value travels as Get, Bool as Contains (Insert and
+                // Delete results are the same 1-byte bool), Displaced
+                // as Upsert. Error slots carry status + message and
+                // ignore the sub-opcode byte on decode.
+                let (sub, st, body): (u8, u8, Vec<u8>) = match r {
+                    BatchSubResult::Value(v) | BatchSubResult::Displaced(v) => {
+                        let mut b = Vec::with_capacity(9);
+                        b.push(u8::from(v.is_some()));
+                        b.extend_from_slice(&v.unwrap_or(0).to_le_bytes());
+                        let sub = if matches!(r, BatchSubResult::Value(_)) {
+                            Opcode::Get
+                        } else {
+                            Opcode::Upsert
+                        };
+                        (sub as u8, StatusCode::Ok as u8, b)
+                    }
+                    BatchSubResult::Bool(x) => (
+                        Opcode::Contains as u8,
+                        StatusCode::Ok as u8,
+                        vec![u8::from(*x)],
+                    ),
+                    BatchSubResult::Error(code, msg) => (0, *code as u8, msg.as_bytes().to_vec()),
+                };
+                payload.push(sub);
+                payload.push(st);
+                payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                payload.extend_from_slice(&body);
             }
         }
         RespBody::Busy { retry_after_ms } => {
@@ -381,6 +502,50 @@ pub fn decode_request(frame: &Frame) -> Result<Request, DecodeError> {
             } else {
                 ReqBody::SnapshotScan { lo, hi, count_only }
             }
+        }
+        Opcode::Batch => {
+            // Outer structure (count, per-sub-op length prefixes) must
+            // be internally consistent or the whole frame is refused —
+            // a lying length prefix leaves no trustworthy slot to pin
+            // the error on. *Within* a consistent structure, each
+            // sub-op parses independently: failures become
+            // `BatchSubOp::Malformed` and do not poison siblings.
+            if p.len() < 4 {
+                return Err(bad_payload(id, "4-byte batch sub-op count", p.len()));
+            }
+            let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
+            let mut ops = Vec::with_capacity(count.min(1024));
+            let mut at = 4;
+            for i in 0..count {
+                if p.len() - at < 5 {
+                    return Err(DecodeError {
+                        id: Some(id),
+                        code: StatusCode::BadPayload,
+                        msg: format!("batch sub-op {i} header overruns the payload"),
+                    });
+                }
+                let sub = p[at];
+                let len =
+                    u32::from_le_bytes(p[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
+                at += 5;
+                if p.len() - at < len {
+                    return Err(DecodeError {
+                        id: Some(id),
+                        code: StatusCode::BadPayload,
+                        msg: format!("batch sub-op {i} body ({len} bytes) overruns the payload"),
+                    });
+                }
+                ops.push(decode_batch_sub_op(sub, &p[at..at + len]));
+                at += len;
+            }
+            if at != p.len() {
+                return Err(bad_payload(
+                    id,
+                    "no trailing bytes after batch sub-ops",
+                    p.len(),
+                ));
+            }
+            ReqBody::Batch { ops }
         }
     };
     Ok(Request { id, body })
@@ -494,6 +659,91 @@ pub fn decode_response(frame: &Frame) -> Result<Response, DecodeError> {
                 slow_reader_disconnects: u64_at(p, 5),
                 shard_ops: (0..shards).map(|i| u64_at(p, 7 + i)).collect(),
             })
+        }
+        Opcode::Batch => {
+            if p.len() < 4 {
+                return Err(bad_payload(id, "4-byte batch result count", p.len()));
+            }
+            let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
+            let mut results = Vec::with_capacity(count.min(1024));
+            let mut at = 4;
+            for i in 0..count {
+                if p.len() - at < 6 {
+                    return Err(DecodeError {
+                        id: Some(id),
+                        code: StatusCode::BadPayload,
+                        msg: format!("batch result {i} header overruns the payload"),
+                    });
+                }
+                let sub = p[at];
+                let st = p[at + 1];
+                let len =
+                    u32::from_le_bytes(p[at + 2..at + 6].try_into().expect("4 bytes")) as usize;
+                at += 6;
+                if p.len() - at < len {
+                    return Err(DecodeError {
+                        id: Some(id),
+                        code: StatusCode::BadPayload,
+                        msg: format!("batch result {i} body ({len} bytes) overruns the payload"),
+                    });
+                }
+                let body = &p[at..at + len];
+                at += len;
+                let status = StatusCode::from_u8(st).ok_or_else(|| DecodeError {
+                    id: Some(id),
+                    code: StatusCode::BadPayload,
+                    msg: format!("batch result {i}: unknown status byte {st}"),
+                })?;
+                let r = if status != StatusCode::Ok {
+                    BatchSubResult::Error(status, String::from_utf8_lossy(body).into_owned())
+                } else {
+                    match Opcode::from_u8(sub) {
+                        Some(Opcode::Get) | Some(Opcode::Upsert) => {
+                            if body.len() != 9 {
+                                return Err(bad_payload(
+                                    id,
+                                    "present-byte + 8-byte value in batch result",
+                                    body.len(),
+                                ));
+                            }
+                            let v = (body[0] != 0).then(|| {
+                                u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"))
+                            });
+                            if sub == Opcode::Get as u8 {
+                                BatchSubResult::Value(v)
+                            } else {
+                                BatchSubResult::Displaced(v)
+                            }
+                        }
+                        Some(Opcode::Contains) => {
+                            if body.len() != 1 {
+                                return Err(bad_payload(
+                                    id,
+                                    "1-byte bool in batch result",
+                                    body.len(),
+                                ));
+                            }
+                            BatchSubResult::Bool(body[0] != 0)
+                        }
+                        _ => {
+                            return Err(DecodeError {
+                                id: Some(id),
+                                code: StatusCode::BadPayload,
+                                msg: format!("batch result {i}: unexpected sub-opcode {sub:#04x}"),
+                            })
+                        }
+                    }
+                };
+                results.push(r);
+            }
+            if at != p.len() {
+                return Err(bad_payload(
+                    id,
+                    "no trailing bytes after batch results",
+                    p.len(),
+                ));
+            }
+            RespBody::BatchResults(results)
         }
     };
     Ok(Response { id, body })

@@ -9,7 +9,10 @@ use std::path::Path;
 
 use pnb_shard::ShardedSession;
 
-use crate::proto::{ReqBody, Request, RespBody, Response, ServerStatsWire, MAX_RANGE_ENTRIES};
+use crate::proto::{
+    BatchSubOp, BatchSubResult, ReqBody, Request, RespBody, Response, ServerStatsWire,
+    MAX_RANGE_ENTRIES,
+};
 use crate::stats::ServerStats;
 
 /// Execute `req` against `session`, producing the response body.
@@ -59,6 +62,7 @@ pub fn handle(
                     .collect(),
             })
         }
+        ReqBody::Batch { ops } => RespBody::BatchResults(run_batch(ops, session)),
         ReqBody::Checkpoint => match checkpoint_dir {
             // The worker's session borrows the same map; the checkpoint
             // serializes one consistent descending-capture cut while
@@ -80,6 +84,74 @@ pub fn handle(
         },
     };
     Response { id: req.id, body }
+}
+
+/// Run one decoded batch through the map's fused `apply_batch` path.
+///
+/// Well-formed sub-ops are compacted into one `pnb_shard` batch (so
+/// they share descent prefixes and the epoch pin exactly like a native
+/// caller's would — `Contains` rides as a `Get` and keeps only the
+/// presence bit); their outcomes are scattered back to submission
+/// order. `Malformed` slots are answered with their typed error in
+/// place, *without executing anything*, and cost nothing beyond their
+/// result slot — one bad sub-op never poisons its siblings.
+fn run_batch(ops: &[BatchSubOp], session: &ShardedSession<'_, u64, u64>) -> Vec<BatchSubResult> {
+    let mut results: Vec<Option<BatchSubResult>> = Vec::with_capacity(ops.len());
+    let mut exec: Vec<pnb_shard::BatchOp<u64, u64>> = Vec::new();
+    // (result slot, answer as Contains-bool rather than Get-value)
+    let mut slots: Vec<(usize, bool)> = Vec::new();
+    for op in ops {
+        let slot = results.len();
+        match op {
+            BatchSubOp::Get { key } => {
+                slots.push((slot, false));
+                exec.push(pnb_shard::BatchOp::Get(*key));
+                results.push(None);
+            }
+            BatchSubOp::Contains { key } => {
+                slots.push((slot, true));
+                exec.push(pnb_shard::BatchOp::Get(*key));
+                results.push(None);
+            }
+            BatchSubOp::Insert { key, value } => {
+                slots.push((slot, false));
+                exec.push(pnb_shard::BatchOp::Insert(*key, *value));
+                results.push(None);
+            }
+            BatchSubOp::Upsert { key, value } => {
+                slots.push((slot, false));
+                exec.push(pnb_shard::BatchOp::Upsert(*key, *value));
+                results.push(None);
+            }
+            BatchSubOp::Delete { key } => {
+                slots.push((slot, false));
+                exec.push(pnb_shard::BatchOp::Delete(*key));
+                results.push(None);
+            }
+            BatchSubOp::Malformed { code, msg } => {
+                results.push(Some(BatchSubResult::Error(*code, msg.clone())));
+            }
+        }
+    }
+    let outcomes = session.apply_batch(&exec);
+    for ((slot, as_bool), outcome) in slots.into_iter().zip(outcomes) {
+        results[slot] = Some(match outcome {
+            pnb_shard::BatchOutcome::Get(v) => {
+                if as_bool {
+                    BatchSubResult::Bool(v.is_some())
+                } else {
+                    BatchSubResult::Value(v)
+                }
+            }
+            pnb_shard::BatchOutcome::Inserted(b) => BatchSubResult::Bool(b),
+            pnb_shard::BatchOutcome::Upserted(v) => BatchSubResult::Displaced(v),
+            pnb_shard::BatchOutcome::Removed(v) => BatchSubResult::Bool(v.is_some()),
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every batch slot is filled exactly once"))
+        .collect()
 }
 
 /// Fold a lazy range iterator into the wire shape, honouring the entry

@@ -49,7 +49,10 @@ pub use client::{Client, ClientError, NetMap, NetSession, RangeReply};
 pub use codec::{
     decode_request, decode_response, encode_request, encode_response, DecodeError, Frame, FrameBuf,
 };
-pub use proto::{Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire, StatusCode};
+pub use proto::{
+    BatchSubOp, BatchSubResult, Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire,
+    StatusCode,
+};
 pub use retry::{ReconnectingClient, RetryPolicy};
 pub use server::{AdmissionConfig, Server, ServerConfig, ShutdownHandle};
 pub use stats::{ServerStats, ServerStatsSnapshot};

@@ -87,6 +87,18 @@ pub enum Opcode {
     /// [`StatusCode::Internal`] when the server has no checkpoint
     /// directory configured.
     Checkpoint = 0x09,
+    /// A batch of point operations served through the map's fused
+    /// `apply_batch` path (one descent prefix, one epoch pin).
+    ///
+    /// Request payload: `count:u32` then `count` length-prefixed
+    /// sub-operations, each `sub_opcode:u8` + `len:u32` + `len` payload
+    /// bytes (only the point opcodes Get/Contains/Insert/Upsert/Delete
+    /// are batchable). Response payload: `count:u32` then per sub-op
+    /// `sub_opcode:u8` + `status:u8` + `len:u32` + body — a malformed
+    /// sub-operation earns its own error status *without poisoning its
+    /// siblings*. Admission control weighs a batch by its contained
+    /// operation count, not as one request.
+    Batch = 0x0A,
 }
 
 impl Opcode {
@@ -104,6 +116,7 @@ impl Opcode {
             0x07 => Opcode::SnapshotScan,
             0x08 => Opcode::Stats,
             0x09 => Opcode::Checkpoint,
+            0x0A => Opcode::Batch,
             _ => return None,
         })
     }
@@ -242,6 +255,92 @@ pub enum ReqBody {
     Stats,
     /// Write a durable checkpoint to the server's checkpoint directory.
     Checkpoint,
+    /// A batch of point operations, answered per-sub-op.
+    Batch {
+        /// The sub-operations, in submission order (duplicate keys
+        /// resolve in this order — the map's stable-sort contract).
+        ops: Vec<BatchSubOp>,
+    },
+}
+
+/// One operation inside a [`ReqBody::Batch`]. Only point operations
+/// are batchable; the decoder maps anything else — unknown sub-opcode,
+/// non-point sub-opcode, wrong sub-payload shape — to
+/// [`Malformed`](BatchSubOp::Malformed) so the handler can answer a
+/// typed per-sub-op error while the well-formed siblings execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchSubOp {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Membership test.
+    Contains {
+        /// Key to test.
+        key: u64,
+    },
+    /// Set-semantics insert.
+    Insert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Insert-or-replace.
+    Upsert {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Remove.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Decode-side marker for a sub-operation that did not parse. Never
+    /// executed; the handler answers it with
+    /// [`BatchSubResult::Error`]. Encoding one produces a sub-frame the
+    /// decoder flags malformed again (sub-opcode `0xFF`), so it is not
+    /// bit-roundtrippable — it exists to carry the error, not to travel.
+    Malformed {
+        /// The per-sub-op status to answer with ([`BadOpcode`]
+        /// (StatusCode::BadOpcode) or
+        /// [`BadPayload`](StatusCode::BadPayload)).
+        code: StatusCode,
+        /// Human-readable diagnostic.
+        msg: String,
+    },
+}
+
+/// Per-sub-op result of a [`ReqBody::Batch`], positionally matching
+/// the request's `ops`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchSubResult {
+    /// Get result: the value, if present.
+    Value(
+        /// Value under the key.
+        Option<u64>,
+    ),
+    /// Contains / Insert / Delete result.
+    Bool(
+        /// Present / newly-inserted / removed.
+        bool,
+    ),
+    /// Upsert result: the displaced value.
+    Displaced(
+        /// Previous value under the key.
+        Option<u64>,
+    ),
+    /// This sub-operation failed (malformed); its siblings are
+    /// unaffected and the operation was never executed.
+    Error(
+        /// Per-sub-op status (never `Ok`).
+        StatusCode,
+        /// UTF-8 diagnostic.
+        String,
+    ),
 }
 
 impl ReqBody {
@@ -258,6 +357,19 @@ impl ReqBody {
             ReqBody::SnapshotScan { .. } => Opcode::SnapshotScan,
             ReqBody::Stats => Opcode::Stats,
             ReqBody::Checkpoint => Opcode::Checkpoint,
+            ReqBody::Batch { .. } => Opcode::Batch,
+        }
+    }
+
+    /// Admission weight: how many map operations this request contains
+    /// (1 for everything but `Batch`, which counts its sub-operations).
+    /// The worker's admission budget and shed accounting are both
+    /// op-granular, so a 64-op batch spends 64 budget slots and, when
+    /// shed, counts as 64 shed operations.
+    pub fn op_weight(&self) -> u64 {
+        match self {
+            ReqBody::Batch { ops } => ops.len().max(1) as u64,
+            _ => 1,
         }
     }
 }
@@ -320,6 +432,11 @@ pub enum RespBody {
         /// current backlog; a floor of 1).
         retry_after_ms: u64,
     },
+    /// Batch reply: one result per sub-operation, in submission order.
+    BatchResults(
+        /// Per-sub-op results (errors are per-slot; siblings execute).
+        Vec<BatchSubResult>,
+    ),
     /// Error frame: status plus human-readable message.
     Error(
         /// Status code (never `Ok` and never `Busy`, which has its own
@@ -358,11 +475,11 @@ mod tests {
 
     #[test]
     fn opcode_bytes_roundtrip() {
-        for b in 0u8..=0x09 {
-            let op = Opcode::from_u8(b).expect("0x00..=0x09 are assigned");
+        for b in 0u8..=0x0A {
+            let op = Opcode::from_u8(b).expect("0x00..=0x0A are assigned");
             assert_eq!(op as u8, b);
         }
-        assert_eq!(Opcode::from_u8(0x0A), None);
+        assert_eq!(Opcode::from_u8(0x0B), None);
         assert_eq!(Opcode::from_u8(0xff), None);
     }
 
@@ -390,5 +507,22 @@ mod tests {
         );
         assert_eq!(ReqBody::Stats.opcode(), Opcode::Stats);
         assert_eq!(ReqBody::Checkpoint.opcode(), Opcode::Checkpoint);
+        assert_eq!(ReqBody::Batch { ops: vec![] }.opcode(), Opcode::Batch);
+    }
+
+    #[test]
+    fn op_weight_counts_contained_ops() {
+        assert_eq!(ReqBody::Ping.op_weight(), 1);
+        assert_eq!(ReqBody::Get { key: 1 }.op_weight(), 1);
+        assert_eq!(ReqBody::Batch { ops: vec![] }.op_weight(), 1);
+        let ops = vec![
+            BatchSubOp::Get { key: 1 },
+            BatchSubOp::Insert { key: 2, value: 3 },
+            BatchSubOp::Malformed {
+                code: StatusCode::BadOpcode,
+                msg: "nope".into(),
+            },
+        ];
+        assert_eq!(ReqBody::Batch { ops }.op_weight(), 3);
     }
 }

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use workload::seed::splitmix64;
 
 use crate::client::{Client, ClientError, RangeReply};
-use crate::proto::ServerStatsWire;
+use crate::proto::{BatchSubOp, BatchSubResult, ServerStatsWire};
 
 /// Tuning for [`ReconnectingClient`]: backoff shape, deadline budget,
 /// and whether mutations retry across transport errors.
@@ -256,6 +256,27 @@ impl ReconnectingClient {
     /// Remove (mutation; see [`insert`](Self::insert)).
     pub fn delete(&mut self, key: u64) -> Result<bool, ClientError> {
         self.with_retry(OpClass::Mutation, |c| c.delete(key))
+    }
+
+    /// Batched point operations in one round trip. Classed as a
+    /// mutation when any sub-op mutates — a transport error leaves the
+    /// whole batch's effect unknown, exactly like a lone insert — so
+    /// an all-read batch auto-retries and a mixed one only retries
+    /// under [`RetryPolicy::retry_mutations`]. (`Busy` sheds never
+    /// executed anything and always retry.)
+    pub fn batch(&mut self, ops: &[BatchSubOp]) -> Result<Vec<BatchSubResult>, ClientError> {
+        let mutates = ops.iter().any(|op| {
+            matches!(
+                op,
+                BatchSubOp::Insert { .. } | BatchSubOp::Upsert { .. } | BatchSubOp::Delete { .. }
+            )
+        });
+        let class = if mutates {
+            OpClass::Mutation
+        } else {
+            OpClass::Idempotent
+        };
+        self.with_retry(class, |c| c.batch(ops))
     }
 
     /// Count keys in `[lo, hi]` (idempotent: auto-retried).

@@ -39,11 +39,29 @@ use std::time::{Duration, Instant};
 
 use pnb_shard::ShardedPnbBst;
 
-use crate::codec::{decode_request, encode_decode_error, encode_response};
+use crate::codec::{decode_request, encode_decode_error, encode_response, Frame};
 use crate::conn::{Conn, ReadOutcome};
 use crate::handler::handle;
-use crate::proto::{RespBody, Response, MAX_PAYLOAD};
+use crate::proto::{Opcode, RespBody, Response, MAX_PAYLOAD};
 use crate::stats::ServerStats;
+
+/// Admission weight of a raw, not-yet-decoded frame: `Batch` frames
+/// count their contained sub-operations (the leading `u32` of the
+/// payload), everything else counts 1. The shed path refuses frames
+/// *before* decoding, so the weight comes from a cheap peek; the count
+/// is clamped to what the payload could plausibly hold (a sub-op costs
+/// at least 5 header bytes), so a lying count cannot inflate the shed
+/// counter past the frame's actual size. The serve path re-derives the
+/// weight from the decoded ops instead.
+fn frame_op_weight(frame: &Frame) -> u64 {
+    if frame.opcode == Opcode::Batch as u8 && frame.payload.len() >= 4 {
+        let count = u32::from_le_bytes(frame.payload[0..4].try_into().expect("4 bytes")) as u64;
+        let plausible = (frame.payload.len() as u64 - 4) / 5;
+        count.min(plausible).max(1)
+    } else {
+        1
+    }
+}
 
 /// Overload-protection limits, applied **per worker** (each worker owns
 /// its connections exclusively, so the accounting needs no atomics).
@@ -435,7 +453,7 @@ fn worker_loop(
                             // executing. The op did NOT run — always
                             // safe to retry.
                             if let Some(op) = crate::proto::Opcode::from_u8(frame.opcode) {
-                                stats.shed();
+                                stats.shed_n(frame_op_weight(&frame));
                                 let resp = Response {
                                     id: frame.id,
                                     body: RespBody::Busy {
@@ -453,7 +471,11 @@ fn worker_loop(
                         }
                         match decode_request(&frame) {
                             Ok(req) => {
-                                serve_budget = serve_budget.saturating_sub(1);
+                                // Budget is op-granular: a 64-op batch
+                                // spends 64 slots, so batching cannot
+                                // smuggle load past admission control.
+                                serve_budget =
+                                    serve_budget.saturating_sub(req.body.op_weight() as usize);
                                 stats.request();
                                 let resp =
                                     handle(&req, &session, stats, cfg.checkpoint_dir.as_deref());

@@ -69,7 +69,15 @@ impl ServerStats {
 
     /// Count a request shed with a typed `Busy` frame.
     pub fn shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed_n(1);
+    }
+
+    /// Count `n` shed operations at once. Shed accounting is
+    /// *op-granular*: a refused `Batch` frame counts every contained
+    /// sub-operation, so `requests_ok + shed` tallies operations the
+    /// client submitted regardless of how they were framed.
+    pub fn shed_n(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Count a connection dropped by the slow-reader policy.

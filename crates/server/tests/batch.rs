@@ -1,0 +1,239 @@
+//! The `Batch` opcode's contract, end to end over real sockets:
+//!
+//! 1. A batch travels as one frame, executes through the map's fused
+//!    `apply_batch` path, and answers positionally.
+//! 2. A malformed sub-operation earns its own typed error and is never
+//!    executed — its well-formed siblings run unaffected.
+//! 3. Structural inconsistencies of the outer payload (lying counts,
+//!    overrunning lengths, trailing bytes) poison the whole frame.
+//! 4. Admission control is op-granular: a shed batch counts every
+//!    contained operation, so `ok_ops + busy_ops == sent_ops` and the
+//!    server's shed ledger agrees.
+
+use pnb_server::codec::{decode_request, Frame};
+use pnb_server::{
+    AdmissionConfig, BatchSubOp, BatchSubResult, Client, ClientError, ReqBody, RespBody, Server,
+    ServerConfig, ShutdownHandle, StatusCode,
+};
+
+fn start(cfg: ServerConfig) -> (std::net::SocketAddr, ShutdownHandle) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let (addr, handle, _join) = server.spawn().expect("spawn");
+    (addr, handle)
+}
+
+#[test]
+fn batch_executes_in_one_round_trip_and_answers_positionally() {
+    let (addr, shutdown) = start(ServerConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    let results = c
+        .batch(&[
+            BatchSubOp::Insert { key: 5, value: 50 },
+            BatchSubOp::Insert { key: 5, value: 51 },
+            BatchSubOp::Contains { key: 5 },
+            BatchSubOp::Get { key: 5 },
+            BatchSubOp::Upsert { key: 5, value: 55 },
+            BatchSubOp::Delete { key: 5 },
+            BatchSubOp::Get { key: 5 },
+            BatchSubOp::Delete { key: 5 },
+        ])
+        .expect("batch");
+    assert_eq!(
+        results,
+        vec![
+            BatchSubResult::Bool(true),
+            // Same key again in the same batch: submission order wins.
+            BatchSubResult::Bool(false),
+            BatchSubResult::Bool(true),
+            BatchSubResult::Value(Some(50)),
+            BatchSubResult::Displaced(Some(50)),
+            BatchSubResult::Bool(true),
+            BatchSubResult::Value(None),
+            BatchSubResult::Bool(false),
+        ]
+    );
+    // An empty batch is legal and answers an empty result list.
+    assert_eq!(c.batch(&[]).expect("empty batch"), vec![]);
+    shutdown.signal();
+}
+
+#[test]
+fn malformed_sub_op_is_answered_in_place_without_poisoning_siblings() {
+    let (addr, shutdown) = start(ServerConfig::default());
+    let mut c = Client::connect(addr).expect("connect");
+    // `Malformed` encodes under the reserved sub-opcode 0xFF, which the
+    // server rejects per-slot — exactly what a buggy client emitting an
+    // unknown sub-opcode would see.
+    let results = c
+        .batch(&[
+            BatchSubOp::Insert { key: 1, value: 10 },
+            BatchSubOp::Malformed {
+                code: StatusCode::BadOpcode,
+                msg: "does not matter on the wire".into(),
+            },
+            BatchSubOp::Get { key: 1 },
+        ])
+        .expect("batch with a bad slot still answers");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0], BatchSubResult::Bool(true), "sibling executed");
+    match &results[1] {
+        BatchSubResult::Error(code, msg) => {
+            assert_eq!(*code, StatusCode::BadOpcode);
+            assert!(msg.contains("0xff"), "diagnostic names the byte: {msg}");
+        }
+        other => panic!("expected a per-slot error, got {other:?}"),
+    }
+    assert_eq!(
+        results[2],
+        BatchSubResult::Value(Some(10)),
+        "sibling after the bad slot executed too"
+    );
+    // The connection survives: per-slot errors are not frame errors.
+    assert_eq!(
+        c.batch(&[BatchSubOp::Contains { key: 1 }]).expect("reuse"),
+        vec![BatchSubResult::Bool(true)]
+    );
+    shutdown.signal();
+}
+
+/// Hand-build a Batch request frame from raw sub-frames.
+fn raw_batch_frame(count: u32, subs: &[(u8, &[u8])]) -> Frame {
+    let mut payload = count.to_le_bytes().to_vec();
+    for (sub, body) in subs {
+        payload.push(*sub);
+        payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        payload.extend_from_slice(body);
+    }
+    Frame {
+        version: 1,
+        opcode: 0x0A,
+        status: 0,
+        flags: 0,
+        id: 7,
+        payload,
+    }
+}
+
+#[test]
+fn wrong_shape_and_non_point_sub_ops_decode_to_per_slot_errors() {
+    let key = 9u64.to_le_bytes();
+    let pair: Vec<u8> = [1u64.to_le_bytes(), 2u64.to_le_bytes()].concat();
+    let frame = raw_batch_frame(
+        4,
+        &[
+            (0x01, &key[..4]), // Get with a truncated key
+            (0x03, &key),      // Insert missing its value
+            (0x06, &pair),     // Range: framed fine, not batchable
+            (0x05, &key),      // well-formed Delete
+        ],
+    );
+    let req = decode_request(&frame).expect("outer structure is consistent");
+    match req.body {
+        ReqBody::Batch { ops } => {
+            assert!(
+                matches!(&ops[0], BatchSubOp::Malformed { code, .. } if *code == StatusCode::BadPayload)
+            );
+            assert!(
+                matches!(&ops[1], BatchSubOp::Malformed { code, .. } if *code == StatusCode::BadPayload)
+            );
+            assert!(
+                matches!(&ops[2], BatchSubOp::Malformed { code, .. } if *code == StatusCode::BadOpcode)
+            );
+            assert_eq!(ops[3], BatchSubOp::Delete { key: 9 });
+        }
+        other => panic!("expected a batch, got {other:?}"),
+    }
+}
+
+#[test]
+fn structural_inconsistency_poisons_the_whole_frame() {
+    let key = 9u64.to_le_bytes();
+    // Count claims 3 sub-ops, payload holds 1: no trustworthy slot to
+    // pin the error on.
+    let lying_count = raw_batch_frame(3, &[(0x01, &key)]);
+    assert_eq!(
+        decode_request(&lying_count).unwrap_err().code,
+        StatusCode::BadPayload
+    );
+    // Sub-op length overruns the payload.
+    let mut overrun = raw_batch_frame(1, &[(0x01, &key)]);
+    overrun.payload[5..9].copy_from_slice(&1_000u32.to_le_bytes());
+    assert_eq!(
+        decode_request(&overrun).unwrap_err().code,
+        StatusCode::BadPayload
+    );
+    // Trailing bytes after the last sub-op.
+    let mut trailing = raw_batch_frame(1, &[(0x01, &key)]);
+    trailing.payload.push(0xEE);
+    assert_eq!(
+        decode_request(&trailing).unwrap_err().code,
+        StatusCode::BadPayload
+    );
+    // Payload too short for even the count.
+    let headless = Frame {
+        payload: vec![1, 0],
+        ..raw_batch_frame(0, &[])
+    };
+    assert_eq!(
+        decode_request(&headless).unwrap_err().code,
+        StatusCode::BadPayload
+    );
+}
+
+#[test]
+fn shed_batches_count_contained_ops_and_were_never_executed() {
+    const BATCH: u64 = 8;
+    let (addr, shutdown) = start(ServerConfig {
+        workers: 1,
+        admission: AdmissionConfig {
+            // Budget is op-granular: 16 slots serve at most two 8-op
+            // batches per worker pass; a deep pipelined burst must shed.
+            max_inflight: 16,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let frames = 200u64;
+    for f in 0..frames {
+        let ops: Vec<BatchSubOp> = (0..BATCH)
+            .map(|i| BatchSubOp::Insert {
+                key: f * BATCH + i,
+                value: 1,
+            })
+            .collect();
+        c.send(ReqBody::Batch { ops }).expect("send batch");
+    }
+    let (mut ok_ops, mut busy_ops) = (0u64, 0u64);
+    for _ in 0..frames {
+        match c.recv() {
+            Ok((_, RespBody::BatchResults(results))) => {
+                assert_eq!(results.len() as u64, BATCH);
+                for r in &results {
+                    assert_eq!(*r, BatchSubResult::Bool(true), "distinct keys insert");
+                }
+                ok_ops += BATCH;
+            }
+            Ok((id, other)) => panic!("request {id}: unexpected body {other:?}"),
+            // The whole frame was shed unexecuted: all of its
+            // operations are outstanding from the client's view.
+            Err(ClientError::Busy { .. }) => busy_ops += BATCH,
+            Err(e) => panic!("unexpected error mid-burst: {e}"),
+        }
+    }
+    assert_eq!(ok_ops + busy_ops, frames * BATCH, "every op accounted");
+    assert!(busy_ops > 0, "a 200-frame burst against 16 slots must shed");
+    assert!(
+        ok_ops >= 2 * BATCH,
+        "the budget itself must still be served"
+    );
+
+    // The server's ledger counts the same *operations*, not frames —
+    // and Busy == not executed, so the map holds exactly the
+    // acknowledged inserts.
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.shed, busy_ops, "shed accounting is op-granular");
+    let count = c.range_count(0, u64::MAX).expect("count");
+    assert_eq!(count, ok_ops, "map contents == acknowledged batch ops");
+    shutdown.signal();
+}

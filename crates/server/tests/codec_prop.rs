@@ -8,8 +8,44 @@ use pnb_server::codec::{
     decode_request, decode_response, encode_request, encode_response, FrameBuf,
 };
 use pnb_server::proto::{
-    Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire, StatusCode,
+    BatchSubOp, BatchSubResult, Opcode, ReqBody, Request, RespBody, Response, ServerStatsWire,
+    StatusCode,
 };
+
+/// Well-formed batch sub-operations only: `Malformed` is a decode-side
+/// marker (it deliberately does not roundtrip), so it has its own
+/// directed tests instead of a strategy arm.
+fn batch_sub_op() -> impl Strategy<Value = BatchSubOp> {
+    prop_oneof![
+        1 => any::<u64>().prop_map(|key| BatchSubOp::Get { key }),
+        1 => any::<u64>().prop_map(|key| BatchSubOp::Contains { key }),
+        1 => (any::<u64>(), any::<u64>()).prop_map(|(key, value)| BatchSubOp::Insert { key, value }),
+        1 => (any::<u64>(), any::<u64>()).prop_map(|(key, value)| BatchSubOp::Upsert { key, value }),
+        1 => any::<u64>().prop_map(|key| BatchSubOp::Delete { key }),
+    ]
+}
+
+fn batch_sub_result() -> impl Strategy<Value = BatchSubResult> {
+    prop_oneof![
+        2 => (any::<bool>(), any::<u64>())
+            .prop_map(|(some, v)| BatchSubResult::Value(some.then_some(v))),
+        2 => any::<bool>().prop_map(BatchSubResult::Bool),
+        2 => (any::<bool>(), any::<u64>())
+            .prop_map(|(some, v)| BatchSubResult::Displaced(some.then_some(v))),
+        1 => prop::collection::vec(any::<u8>(), 0..24).prop_map(|msg| {
+            BatchSubResult::Error(
+                StatusCode::BadOpcode,
+                String::from_utf8_lossy(&msg).into_owned(),
+            )
+        }),
+        1 => prop::collection::vec(any::<u8>(), 0..24).prop_map(|msg| {
+            BatchSubResult::Error(
+                StatusCode::BadPayload,
+                String::from_utf8_lossy(&msg).into_owned(),
+            )
+        }),
+    ]
+}
 
 fn req_body() -> impl Strategy<Value = ReqBody> {
     prop_oneof![
@@ -24,6 +60,9 @@ fn req_body() -> impl Strategy<Value = ReqBody> {
             .prop_map(|(lo, hi, count_only)| ReqBody::Range { lo, hi, count_only }),
         2 => (any::<u64>(), any::<u64>(), any::<bool>())
             .prop_map(|(lo, hi, count_only)| ReqBody::SnapshotScan { lo, hi, count_only }),
+        // Nested frames: a batch of sub-ops inside the outer frame.
+        2 => prop::collection::vec(batch_sub_op(), 0..12)
+            .prop_map(|ops| ReqBody::Batch { ops }),
     ]
 }
 
@@ -64,6 +103,9 @@ fn resp_case() -> impl Strategy<Value = (Opcode, RespBody)> {
                 RespBody::Error(StatusCode::BadPayload, String::from_utf8_lossy(&msg).into_owned()),
             )
         }),
+        // Nested result frames, error slots included.
+        2 => prop::collection::vec(batch_sub_result(), 0..12)
+            .prop_map(|rs| (Opcode::Batch, RespBody::BatchResults(rs))),
     ]
 }
 

@@ -98,6 +98,7 @@ pub use merge::MergeRange;
 pub use partition::{HashPartitioner, Partitioner, RangePrefixPartitioner};
 pub use persist::PersistentPartitioner;
 pub use pnb_bst::persist::{CheckpointError, CheckpointReport};
+pub use pnb_bst::{BatchOp, BatchOutcome, BatchReport};
 pub use session::ShardedSession;
 pub use snapshot::ShardedSnapshot;
 pub use stats::{load_imbalance, ShardOpStats};

@@ -2,7 +2,7 @@
 
 use std::ops::RangeBounds;
 
-use pnb_bst::{Handle, Range};
+use pnb_bst::{BatchOp, BatchOutcome, BatchReport, Handle, Range};
 
 use crate::map::ShardedPnbBst;
 use crate::merge::MergeRange;
@@ -105,6 +105,100 @@ where
         let i = self.route(key);
         self.map.counters[i].deletes();
         self.handles[i].remove(key)
+    }
+
+    /// Batched lookup across shards: one `Option<V>` per key, in
+    /// submission order.
+    ///
+    /// Keys are bucketed per shard by the partitioner and each bucket
+    /// runs as one [`Handle::multi_get`] (key-sorted, shared descent
+    /// prefix, one amortized epoch pin per shard). Each lookup still
+    /// linearizes individually.
+    pub fn multi_get(&self, keys: &[K]) -> Vec<Option<V>> {
+        self.multi_get_reported(keys).0
+    }
+
+    /// [`multi_get`](Self::multi_get) plus descent-sharing telemetry
+    /// merged across the participating shards.
+    pub fn multi_get_reported(&self, keys: &[K]) -> (Vec<Option<V>>, BatchReport) {
+        let shards = self.handles.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (oi, k) in keys.iter().enumerate() {
+            buckets[self.map.shard_of(k)].push(oi);
+        }
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        let mut report = BatchReport::default();
+        for (i, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let sub: Vec<K> = bucket.iter().map(|&oi| keys[oi].clone()).collect();
+            for _ in bucket {
+                self.map.counters[i].gets();
+            }
+            let (vals, r) = self.handles[i].multi_get_reported(&sub);
+            report.merge(r);
+            for (&oi, v) in bucket.iter().zip(vals) {
+                out[oi] = v;
+            }
+        }
+        (out, report)
+    }
+
+    /// Apply a mixed batch across shards, returning one
+    /// [`BatchOutcome`] per operation in submission order.
+    ///
+    /// Operations bucket per shard (stable, so duplicates of one key
+    /// keep batch order) and each bucket runs as one
+    /// [`Handle::apply_batch`]. Buckets execute in **ascending** shard
+    /// order — the writer-side convention that, combined with
+    /// snapshots/scans closing phases in *descending* shard order,
+    /// yields prefix-consistent cross-shard cuts (crate docs): an
+    /// observer that misses this batch's sub-batch on shard `i` cannot
+    /// have seen its sub-batch on any `j > i`. A batch is a sequence of
+    /// individually-linearizable operations, not an atomic transaction.
+    pub fn apply_batch(&self, ops: &[BatchOp<K, V>]) -> Vec<BatchOutcome<V>> {
+        self.apply_batch_reported(ops).0
+    }
+
+    /// [`apply_batch`](Self::apply_batch) plus descent-sharing
+    /// telemetry merged across the participating shards.
+    pub fn apply_batch_reported(
+        &self,
+        ops: &[BatchOp<K, V>],
+    ) -> (Vec<BatchOutcome<V>>, BatchReport) {
+        let shards = self.handles.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (oi, op) in ops.iter().enumerate() {
+            buckets[self.map.shard_of(op.key())].push(oi);
+        }
+        let mut out: Vec<Option<BatchOutcome<V>>> = vec![None; ops.len()];
+        let mut report = BatchReport::default();
+        for (i, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let sub: Vec<BatchOp<K, V>> = bucket.iter().map(|&oi| ops[oi].clone()).collect();
+            for op in &sub {
+                match op {
+                    BatchOp::Get(_) => self.map.counters[i].gets(),
+                    BatchOp::Insert(..) => self.map.counters[i].inserts(),
+                    BatchOp::Upsert(..) => self.map.counters[i].upserts(),
+                    BatchOp::Delete(_) => self.map.counters[i].deletes(),
+                }
+            }
+            let (res, r) = self.handles[i].apply_batch_reported(&sub);
+            report.merge(r);
+            for (&oi, o) in bucket.iter().zip(res) {
+                out[oi] = Some(o);
+            }
+        }
+        (
+            out.into_iter()
+                .map(|o| o.expect("every op was bucketed exactly once"))
+                .collect(),
+            report,
+        )
     }
 
     /// Cross-shard lazy range query over any [`RangeBounds`], ascending

@@ -1,0 +1,192 @@
+//! Concurrent batch linearizability stress (ISSUE 10 satellite).
+//!
+//! A batch writer upserts version `v` to every *designated* key (three
+//! per shard) with ONE `apply_batch` per transaction. Because the
+//! session applies per-shard sub-batches in ascending shard order and
+//! each sub-batch executes in ascending key order, while snapshots and
+//! merged ranges capture per-shard views in **descending** shard order,
+//! every cross-shard cut must observe the concatenated write sequence
+//! *prefix-closed*: versions listed along (shard asc, key asc) are
+//! monotone non-increasing. A torn intra-bucket prefix (a later key of
+//! a bucket ahead of an earlier one) or a torn cross-shard view both
+//! violate monotonicity and fail the assertion — the same
+//! version-monotone checker as `tests/sharded.rs`, extended to
+//! multi-key buckets.
+//!
+//! Singleton writers churn disjoint noise keys concurrently, so batches
+//! race both singleton updates and snapshot cuts.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pnb_shard::{BatchOp, ShardedPnbBst};
+
+/// Designated keys per shard (one multi-key bucket per shard).
+const KEYS_PER_SHARD: usize = 3;
+
+fn scaled(n: u64) -> u64 {
+    let scale = std::env::var("PNBBST_TEST_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    n * scale
+}
+
+/// `KEYS_PER_SHARD` designated keys per shard, flattened in (shard asc,
+/// key asc) order — the exact order the batch writer's writes land in.
+fn designated_keys(map: &ShardedPnbBst<u64, u64>) -> Vec<u64> {
+    let n = map.shard_count();
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut found = 0;
+    for block in 0..1_000_000u64 {
+        let k = block * 4_096; // default partitioner: 4096-key blocks
+        let s = map.shard_of(&k);
+        if per_shard[s].len() < KEYS_PER_SHARD {
+            per_shard[s].push(k);
+            found += 1;
+            if found == n * KEYS_PER_SHARD {
+                break;
+            }
+        }
+    }
+    for (s, keys) in per_shard.iter_mut().enumerate() {
+        assert_eq!(keys.len(), KEYS_PER_SHARD, "shard {s} unreachable");
+        keys.sort_unstable();
+    }
+    per_shard.into_iter().flatten().collect()
+}
+
+fn batch_cut_consistency_at(shards: usize) {
+    let map: Arc<ShardedPnbBst<u64, u64>> = Arc::new(ShardedPnbBst::new(shards));
+    let keys = designated_keys(&map);
+    // Transaction 0: all designated keys present at version 0.
+    {
+        let s = map.pin();
+        for &k in &keys {
+            s.upsert(k, 0);
+        }
+    }
+
+    let txns = scaled(1_500);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Batch writer: one apply_batch per transaction, every
+        // designated key to version v. Submission order is deliberately
+        // reversed — the sorting contract, not the caller, must produce
+        // the (shard asc, key asc) application order.
+        let writer = {
+            let map = Arc::clone(&map);
+            let keys = keys.clone();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut session = map.pin();
+                for v in 1..=txns {
+                    let ops: Vec<BatchOp<u64, u64>> =
+                        keys.iter().rev().map(|&k| BatchOp::Upsert(k, v)).collect();
+                    let acked = session.apply_batch(&ops).len();
+                    assert_eq!(acked, keys.len());
+                    if v.is_multiple_of(64) {
+                        session.refresh();
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+
+        // Singleton noise writer: churns keys disjoint from the
+        // designated set (offset inside each block) so batches race
+        // plain point updates on every shard.
+        let noise = {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut session = map.pin();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = (i % 64) * 4_096 + 17;
+                    session.upsert(k, i);
+                    if i.is_multiple_of(3) {
+                        session.delete(&k);
+                    }
+                    if i.is_multiple_of(128) {
+                        session.refresh();
+                    }
+                    i += 1;
+                }
+            })
+        };
+
+        // Readers: alternate snapshot cuts and merged ranges; the
+        // version vector along (shard asc, key asc) must be monotone
+        // non-increasing — intra-bucket tears and cross-shard tears
+        // both break monotonicity.
+        let readers: Vec<_> = (0..2u64)
+            .map(|r| {
+                let map = Arc::clone(&map);
+                let keys = keys.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut session = map.pin();
+                    let mut rounds = 0u64;
+                    let mut observed = 0u64;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let versions: Vec<u64> = if (rounds + r).is_multiple_of(2) {
+                            let snap = session.snapshot();
+                            keys.iter()
+                                .map(|k| snap.get(k).expect("designated keys never vanish"))
+                                .collect()
+                        } else {
+                            let mut by_key: BTreeMap<u64, u64> = session.range(..).collect();
+                            keys.iter()
+                                .map(|k| by_key.remove(k).expect("designated keys never vanish"))
+                                .collect()
+                        };
+                        for w in versions.windows(2) {
+                            assert!(
+                                w[0] >= w[1],
+                                "torn batch observation: versions {versions:?} \
+                                 (a later write of the batch visible before an earlier one)"
+                            );
+                        }
+                        observed = observed.max(versions[0]);
+                        rounds += 1;
+                        session.refresh();
+                        if done {
+                            break;
+                        }
+                    }
+                    (rounds, observed)
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        noise.join().unwrap();
+        let mut total_rounds = 0u64;
+        for h in readers {
+            let (rounds, observed) = h.join().unwrap();
+            total_rounds += rounds;
+            assert!(observed <= txns);
+        }
+        assert!(total_rounds > 0, "readers never completed a round");
+    });
+
+    // Quiescent: the last transaction is fully visible.
+    let s = map.pin();
+    let finals = s.multi_get(&keys);
+    assert!(finals.iter().all(|v| *v == Some(txns)), "{finals:?}");
+}
+
+#[test]
+fn batch_cut_consistency_2_shards() {
+    batch_cut_consistency_at(2);
+}
+
+#[test]
+fn batch_cut_consistency_8_shards() {
+    batch_cut_consistency_at(8);
+}

@@ -1,0 +1,153 @@
+//! Batch-vs-singleton oracle battery (ISSUE 10 tentpole proof).
+//!
+//! One random operation sequence drives, simultaneously:
+//!
+//! * (a) singleton `ShardedSession` calls (`insert`/`upsert`/…),
+//! * (b) the same ops through [`ShardedSession::apply_batch`] chopped
+//!   into random chunk sizes 1–64,
+//! * (c) a `BTreeMap` model,
+//!
+//! at 1, 2 **and** 8 shards. Per-op return values, final contents (via
+//! the merged cross-shard range) and `multi_get` answers must agree
+//! bit-for-bit. Duplicate keys inside one batch must resolve in batch
+//! order (the stable sort contract).
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use pnb_shard::{BatchOp, BatchOutcome, ShardedPnbBst};
+
+/// Spread keys over many 4096-key partitioner blocks so every shard
+/// count in play sees real multi-shard traffic.
+const KEY_STRIDE: u64 = 5_000;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = BatchOp<u64, u64>> {
+    prop_oneof![
+        3 => (0..key_space, any::<u64>())
+            .prop_map(|(k, v)| BatchOp::Insert(k * KEY_STRIDE, v)),
+        3 => (0..key_space, any::<u64>())
+            .prop_map(|(k, v)| BatchOp::Upsert(k * KEY_STRIDE, v)),
+        3 => (0..key_space).prop_map(|k| BatchOp::Delete(k * KEY_STRIDE)),
+        2 => (0..key_space).prop_map(|k| BatchOp::Get(k * KEY_STRIDE)),
+    ]
+}
+
+/// The model's answer for one op, applied to the model.
+fn model_apply(model: &mut BTreeMap<u64, u64>, op: &BatchOp<u64, u64>) -> BatchOutcome<u64> {
+    match op {
+        BatchOp::Get(k) => BatchOutcome::Get(model.get(k).copied()),
+        BatchOp::Insert(k, v) => {
+            let absent = !model.contains_key(k);
+            if absent {
+                model.insert(*k, *v);
+            }
+            BatchOutcome::Inserted(absent)
+        }
+        BatchOp::Upsert(k, v) => BatchOutcome::Upserted(model.insert(*k, *v)),
+        BatchOp::Delete(k) => BatchOutcome::Removed(model.remove(k)),
+    }
+}
+
+/// One op through the singleton session API, normalized to the batch
+/// outcome type so the comparison is bit-for-bit.
+fn singleton_apply(
+    s: &pnb_shard::ShardedSession<'_, u64, u64>,
+    op: &BatchOp<u64, u64>,
+) -> BatchOutcome<u64> {
+    match op {
+        BatchOp::Get(k) => BatchOutcome::Get(s.get(k)),
+        BatchOp::Insert(k, v) => BatchOutcome::Inserted(s.insert(*k, *v)),
+        BatchOp::Upsert(k, v) => BatchOutcome::Upserted(s.upsert(*k, *v)),
+        BatchOp::Delete(k) => BatchOutcome::Removed(s.remove(k)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batches_match_singletons_and_btreemap_at_1_2_and_8_shards(
+        ops in prop::collection::vec(op_strategy(64), 1..300),
+        chunks in prop::collection::vec(1usize..=64, 1..24),
+    ) {
+        let singleton_maps: Vec<ShardedPnbBst<u64, u64>> =
+            SHARD_COUNTS.into_iter().map(ShardedPnbBst::new).collect();
+        let batch_maps: Vec<ShardedPnbBst<u64, u64>> =
+            SHARD_COUNTS.into_iter().map(ShardedPnbBst::new).collect();
+        let singles: Vec<_> = singleton_maps.iter().map(|m| m.pin()).collect();
+        let batched: Vec<_> = batch_maps.iter().map(|m| m.pin()).collect();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        // Expected per-op outcomes from the model, and live singleton
+        // replay (which must agree op-by-op).
+        let mut expect: Vec<BatchOutcome<u64>> = Vec::with_capacity(ops.len());
+        for op in &ops {
+            let want = model_apply(&mut model, op);
+            for s in &singles {
+                prop_assert_eq!(singleton_apply(s, op), want.clone());
+            }
+            expect.push(want);
+        }
+
+        // Batched replay: the same sequence chopped into random chunk
+        // sizes 1..=64 (cycled), compared outcome-for-outcome. Chunks
+        // routinely contain duplicate keys, exercising the
+        // batch-order-resolution contract.
+        for s in &batched {
+            let mut got: Vec<BatchOutcome<u64>> = Vec::with_capacity(ops.len());
+            let mut cursor = 0usize;
+            let mut ci = 0usize;
+            while cursor < ops.len() {
+                let take = chunks[ci % chunks.len()].min(ops.len() - cursor);
+                ci += 1;
+                got.extend(s.apply_batch(&ops[cursor..cursor + take]));
+                cursor += take;
+            }
+            prop_assert_eq!(&got, &expect);
+        }
+
+        // Final state: merged ranges and multi_get agree with the model
+        // across every map.
+        let final_kv: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        let probe: Vec<u64> = (0..64u64).map(|k| k * KEY_STRIDE).collect();
+        let want_probe: Vec<Option<u64>> =
+            probe.iter().map(|k| model.get(k).copied()).collect();
+        for s in singles.iter().chain(&batched) {
+            let contents: Vec<(u64, u64)> = s.range(..).collect();
+            prop_assert_eq!(&contents, &final_kv);
+            prop_assert_eq!(&s.multi_get(&probe), &want_probe);
+        }
+        drop(singles);
+        drop(batched);
+        for m in singleton_maps.iter().chain(&batch_maps) {
+            prop_assert_eq!(m.check_invariants(), model.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_resolve_in_batch_order(
+        key in 0..8u64,
+        vals in prop::collection::vec(any::<u64>(), 2..32),
+    ) {
+        // All ops hit ONE key inside one batch: upsert chain semantics
+        // must replay the submission order exactly, not the sorted or
+        // arrival-racing order.
+        let map: ShardedPnbBst<u64, u64> = ShardedPnbBst::new(8);
+        let s = map.pin();
+        let ops: Vec<BatchOp<u64, u64>> = vals
+            .iter()
+            .map(|&v| BatchOp::Upsert(key * KEY_STRIDE, v))
+            .collect();
+        let got = s.apply_batch(&ops);
+        let mut want = vec![BatchOutcome::Upserted(None)];
+        want.extend(
+            vals[..vals.len() - 1]
+                .iter()
+                .map(|&v| BatchOutcome::Upserted(Some(v))),
+        );
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(s.get(&(key * KEY_STRIDE)), vals.last().copied());
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod dist;
 pub mod histogram;
 pub mod json;
@@ -40,6 +41,9 @@ pub mod runner;
 pub mod schedule;
 pub mod seed;
 
+pub use batch::{
+    run_batched_throughput, BatchOp, BatchReport, BatchedMeasurement, BatchedRunConfig,
+};
 pub use dist::{KeyDist, ScrambledZipf, Sequential, Zipf};
 pub use histogram::{HdrHistogram, ShardedHistogram};
 pub use latency::{run_latency, LatencyHistogram, LatencyReport};
@@ -115,6 +119,34 @@ pub trait MapSession {
     /// reclamation can advance; called between operation batches,
     /// outside the per-op timing windows. Default: no-op.
     fn refresh(&mut self) {}
+
+    /// Apply a batch of operations and report how many root-to-leaf
+    /// descents it cost. The default falls back to singleton calls
+    /// (one descent per op, so `ops_per_descent == 1`) — structures
+    /// with a fused batch path override this and declare
+    /// [`Caps::batched`].
+    fn apply_batch(&mut self, ops: &[BatchOp]) -> BatchReport {
+        for op in ops {
+            match *op {
+                BatchOp::Get(k) => {
+                    std::hint::black_box(self.get(&k));
+                }
+                BatchOp::Insert(k, v) => {
+                    std::hint::black_box(self.insert(k, v));
+                }
+                BatchOp::Upsert(k, v) => {
+                    std::hint::black_box(self.upsert(k, v));
+                }
+                BatchOp::Delete(k) => {
+                    std::hint::black_box(self.delete(&k));
+                }
+            }
+        }
+        BatchReport {
+            ops: ops.len() as u64,
+            root_descents: ops.len() as u64,
+        }
+    }
 }
 
 /// Typed capability declaration of a structure under test.
@@ -132,6 +164,12 @@ pub struct Caps {
     pub upsert: bool,
     /// Point-in-time snapshots (informational; no mix drives it yet).
     pub snapshot: bool,
+    /// Native batched operations (`multi_get`/`apply_batch` with a
+    /// shared descent prefix). Every structure can *run* a batch — the
+    /// [`MapSession::apply_batch`] default falls back to singleton
+    /// calls — so this flag marks structures whose batching is an
+    /// actual fused hot path, which is what experiment E13 sweeps.
+    pub batched: bool,
 }
 
 impl Caps {
@@ -141,6 +179,7 @@ impl Caps {
             range_scan: true,
             upsert: true,
             snapshot: true,
+            batched: true,
         }
     }
 
@@ -150,6 +189,7 @@ impl Caps {
             range_scan: false,
             upsert: false,
             snapshot: false,
+            batched: false,
         }
     }
 

@@ -540,6 +540,7 @@ mod tests {
                 range_scan: true,
                 upsert: true,
                 snapshot: false,
+                batched: false,
             }
         }
         fn name(&self) -> &'static str {
